@@ -1,0 +1,170 @@
+// Command dataset inspects and manipulates serialized hitlist datasets
+// (the delta-varint binary format of internal/hitlist).
+//
+// Subcommands:
+//
+//	dataset stats  FILE           print size, /48 count, entropy summary
+//	dataset diff   A B            compare two datasets (sizes, overlap)
+//	dataset merge  OUT A B [C..]  union several datasets into OUT
+//	dataset release FILE          print the /48-truncated release form
+//	dataset export  FILE          print one address per line
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hitlist6/internal/addr"
+	"hitlist6/internal/hitlist"
+	"hitlist6/internal/stats"
+)
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+	var err error
+	switch args[0] {
+	case "stats":
+		err = cmdStats(args[1:])
+	case "diff":
+		err = cmdDiff(args[1:])
+	case "merge":
+		err = cmdMerge(args[1:])
+	case "release":
+		err = cmdRelease(args[1:])
+	case "export":
+		err = cmdExport(args[1:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dataset:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dataset stats|diff|merge|release|export ...")
+	os.Exit(2)
+}
+
+func load(path string) (*hitlist.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return hitlist.ReadDataset(f)
+}
+
+func cmdStats(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("stats needs exactly one file")
+	}
+	d, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	p48s := make(map[addr.Prefix48]struct{})
+	var entropies []float64
+	euis := 0
+	d.Each(func(a addr.Addr) bool {
+		p48s[a.P48()] = struct{}{}
+		entropies = append(entropies, a.IID().NormalizedEntropy())
+		if a.IID().IsEUI64() {
+			euis++
+		}
+		return true
+	})
+	dist := stats.NewDistribution(entropies)
+	fmt.Printf("name:            %s\n", d.Name)
+	fmt.Printf("addresses:       %s\n", stats.Comma(int64(d.Len())))
+	fmt.Printf("distinct /48s:   %s\n", stats.Comma(int64(len(p48s))))
+	if len(p48s) > 0 {
+		fmt.Printf("addrs per /48:   %.1f\n", float64(d.Len())/float64(len(p48s)))
+	}
+	fmt.Printf("median entropy:  %.3f\n", dist.Median())
+	fmt.Printf("EUI-64 share:    %s\n", stats.Pct(float64(euis)/float64(max(1, d.Len())), 2))
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("diff needs exactly two files")
+	}
+	a, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	b, err := load(args[1])
+	if err != nil {
+		return err
+	}
+	common := hitlist.IntersectionSize(a, b)
+	fmt.Printf("%s: %s addresses\n", a.Name, stats.Comma(int64(a.Len())))
+	fmt.Printf("%s: %s addresses\n", b.Name, stats.Comma(int64(b.Len())))
+	fmt.Printf("common: %s (%s of A, %s of B)\n",
+		stats.Comma(int64(common)),
+		stats.Pct(float64(common)/float64(max(1, a.Len())), 2),
+		stats.Pct(float64(common)/float64(max(1, b.Len())), 2))
+	fmt.Printf("only in A: %s\n", stats.Comma(int64(a.Len()-common)))
+	fmt.Printf("only in B: %s\n", stats.Comma(int64(b.Len()-common)))
+	return nil
+}
+
+func cmdMerge(args []string) error {
+	if len(args) < 3 {
+		return fmt.Errorf("merge needs OUT plus at least two inputs")
+	}
+	out := hitlist.NewDataset("merged")
+	for _, path := range args[1:] {
+		d, err := load(path)
+		if err != nil {
+			return err
+		}
+		d.Each(func(a addr.Addr) bool {
+			out.Add(a)
+			return true
+		})
+	}
+	f, err := os.Create(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := out.WriteTo(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s addresses to %s\n", stats.Comma(int64(out.Len())), args[0])
+	return nil
+}
+
+func cmdRelease(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("release needs exactly one file")
+	}
+	d, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Print(hitlist.Release(d))
+	return nil
+}
+
+func cmdExport(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("export needs exactly one file")
+	}
+	d, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	for _, a := range d.Addrs() {
+		fmt.Println(a)
+	}
+	return nil
+}

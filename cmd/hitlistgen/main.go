@@ -1,0 +1,109 @@
+// Command hitlistgen builds the three comparison datasets (passive NTP,
+// active IPv6-Hitlist-style, CAIDA routed /48), prints the Table 1
+// comparison, and optionally writes each dataset's /48-truncated release
+// file — the sharing format the paper's ethics discussion mandates.
+//
+// Usage:
+//
+//	hitlistgen [-seed N] [-scale F] [-days N] [-outdir DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hitlist6"
+	"hitlist6/internal/hitlist"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 1, "deterministic seed")
+		scale  = flag.Float64("scale", 0.25, "population scale")
+		days   = flag.Int("days", 90, "study length in days")
+		outdir = flag.String("outdir", "", "write /48 release files into this directory")
+	)
+	flag.Parse()
+
+	cfg := hitlist6.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	cfg.Days = *days
+	if cfg.SliceDay >= cfg.Days {
+		cfg.SliceDay = cfg.Days / 2
+	}
+
+	study, err := hitlist6.NewStudy(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := study.Run(); err != nil {
+		fatal(err)
+	}
+	t1, err := study.Table1()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(t1.Render())
+	fmt.Printf("Hitlist alias list: %d aliased /64s; active probes sent: %d\n",
+		study.Hitlist.Aliases.Len(), study.Hitlist.ProbesSent)
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fatal(err)
+		}
+		rel, err := study.ReleaseNTP()
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*outdir, "ntp-release-48.txt")
+		if err := os.WriteFile(path, []byte(rel), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+
+		// Binary datasets for the `dataset` tool; note these carry full
+		// addresses and are for local analysis, not publication.
+		for name, d := range map[string]*hitlist.Dataset{
+			"ntp.hl6":     study.NTP,
+			"hitlist.hl6": study.Hitlist.Dataset,
+			"caida.hl6":   study.CAIDA,
+		} {
+			p := filepath.Join(*outdir, name)
+			f, err := os.Create(p)
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := d.WriteTo(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d addresses)\n", p, d.Len())
+		}
+
+		// The alias list in the Hitlist service's textual format.
+		ap := filepath.Join(*outdir, "aliased-prefixes.txt")
+		af, err := os.Create(ap)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := study.Hitlist.Aliases.WriteTo(af); err != nil {
+			af.Close()
+			fatal(err)
+		}
+		if err := af.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", ap)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hitlistgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Command ntpserver runs a real stratum-2 NTP server over UDP — the same
+// measurement primitive the paper deployed 27 of in the NTP Pool — and
+// logs every client source address it observes, i.e. the passive
+// collection feed.
+//
+// Usage:
+//
+//	ntpserver [-listen ADDR] [-stratum N] [-quiet]
+//
+// Try it against itself:
+//
+//	ntpserver -listen '[::1]:11123' &
+//	# then in another shell use any SNTP client against [::1]:11123
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"os/signal"
+	"time"
+
+	"hitlist6/internal/ntp"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "[::]:123", "UDP listen address")
+		stratum   = flag.Int("stratum", 2, "stratum to report")
+		quiet     = flag.Bool("quiet", false, "suppress per-query logging")
+		rateLimit = flag.Duration("rate-limit", 0,
+			"per-source minimum query interval (0 disables; offenders get a RATE kiss-o'-death)")
+	)
+	flag.Parse()
+
+	var limiter *ntp.RateLimiter
+	if *rateLimit > 0 {
+		limiter = ntp.NewRateLimiter(*rateLimit, 1<<16)
+	}
+	count := 0
+	srv, err := ntp.NewServer(ntp.ServerConfig{
+		Addr:        *listen,
+		Stratum:     uint8(*stratum),
+		ReferenceID: 0x47505300, // "GPS\0"
+		RateLimit:   limiter,
+		Observer: func(src netip.Addr, at time.Time) {
+			count++
+			if !*quiet {
+				fmt.Printf("%s %s\n", at.UTC().Format(time.RFC3339Nano), src)
+			}
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ntpserver:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "ntpserver: stratum-%d server listening on %s\n",
+		*stratum, srv.LocalAddr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	reqs, replies, dropped := srv.Stats()
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "ntpserver: close:", err)
+	}
+	fmt.Fprintf(os.Stderr, "\nntpserver: %d requests, %d replies, %d dropped, %d observed sources\n",
+		reqs, replies, dropped, count)
+}

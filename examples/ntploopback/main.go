@@ -1,0 +1,60 @@
+// NTP loopback example: the measurement primitive itself, on real
+// sockets. Starts the same stratum-2 UDP server the study's 27 vantage
+// points ran, attaches a passive source-address observer (the collection
+// hook), queries it with the SNTP client, and prints what the server
+// learned — a one-process demonstration of "run an NTP server, harvest
+// source addresses".
+//
+//	go run ./examples/ntploopback
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"hitlist6/internal/ntp"
+)
+
+func main() {
+	observed := make(chan netip.Addr, 16)
+	mkServer := func(listen string) (*ntp.Server, error) {
+		return ntp.NewServer(ntp.ServerConfig{
+			Addr:        listen, // ephemeral port on loopback
+			Stratum:     2,
+			ReferenceID: 0x47505300,
+			Observer: func(src netip.Addr, at time.Time) {
+				observed <- src
+			},
+		})
+	}
+	srv, err := mkServer("[::1]:0")
+	if err != nil {
+		// No IPv6 loopback here; the protocol is address-family agnostic.
+		srv, err = mkServer("127.0.0.1:0")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Println("stratum-2 NTP server on", srv.LocalAddr())
+
+	for i := 0; i < 3; i++ {
+		res, err := ntp.Query(srv.LocalAddr().String(), 2*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %d: stratum %d, offset %v, delay %v\n",
+			i+1, res.Stratum, res.Offset.Round(time.Microsecond),
+			res.Delay.Round(time.Microsecond))
+	}
+
+	fmt.Println("\npassively observed source addresses:")
+	for i := 0; i < 3; i++ {
+		fmt.Println("  ", <-observed)
+	}
+	reqs, replies, dropped := srv.Stats()
+	fmt.Printf("\nserver stats: %d requests, %d replies, %d dropped\n",
+		reqs, replies, dropped)
+}

@@ -1,0 +1,63 @@
+// Tracking example: reproduce §5.1/§5.2 — extract MAC addresses from
+// EUI-64 IIDs in the passive corpus, attribute manufacturers (Table 2),
+// classify each identifier's movement pattern, and print Figure 7-style
+// timelines for the privacy-relevant classes.
+//
+//	go run ./examples/tracking
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hitlist6"
+	"hitlist6/internal/tracking"
+)
+
+func main() {
+	cfg := hitlist6.DefaultConfig()
+	cfg.Scale = 0.15
+	cfg.Days = 90
+	cfg.SliceDay = 60
+
+	study, err := hitlist6.NewStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	study.CollectPassive() // tracking needs only the passive corpus
+
+	tr, err := study.Tracking()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("EUI-64 addresses in corpus: %d (%.2f%% of %d)\n",
+		tr.EUI64Addresses,
+		100*float64(tr.EUI64Addresses)/float64(study.Collector.NumAddrs()),
+		study.Collector.NumAddrs())
+	fmt.Printf("unique embedded MACs: %d, unlisted share %.1f%%\n\n",
+		len(tr.MACs), 100*tr.UnlistedShare())
+
+	fmt.Println("Table 2 — manufacturers:")
+	for i, row := range tr.Table2() {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  %-50s %d\n", row.Manufacturer, row.Count)
+	}
+
+	fmt.Println("\ntracking classes (share of trackable MACs):")
+	for c := tracking.MostlyStatic; c < tracking.NumClasses; c++ {
+		fmt.Printf("  %-30s %5.2f%%  (%d)\n", c, 100*tr.ClassShare(c), tr.ClassCounts[c])
+	}
+
+	fmt.Println("\nexemplar timelines (Figure 7):")
+	for _, c := range []tracking.Class{
+		tracking.PrefixReassignment, tracking.MACReuse,
+		tracking.ProviderChange, tracking.UserMovement,
+	} {
+		if ex := tr.Exemplar(c); ex != nil {
+			fmt.Println(tracking.RenderTimeline(ex, study.World.ASDB))
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package addr implements the IPv6 address machinery the paper's analyses
+// are built on: a compact 128-bit address value type, Interface Identifier
+// (IID) extraction, EUI-64 encoding and MAC recovery, IPv4-embedded address
+// detection, nibble-level normalized Shannon entropy, prefix arithmetic for
+// the /32–/64 aggregations the paper uses, and the seven addressing
+// categories of Figure 5.
+//
+// Addr is a value type ([16]byte under the hood) so it can key maps without
+// allocation, following the fixed-size-endpoint idiom used by high-volume
+// packet processing libraries.
+package addr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv6 address as a comparable 16-byte value.
+type Addr [16]byte
+
+// MAC is a 48-bit IEEE 802 MAC address as a comparable value type.
+type MAC [6]byte
+
+// Parse parses an IPv6 address in any RFC 4291 textual form (full,
+// compressed with "::", embedded IPv4 dotted-quad suffix).
+func Parse(s string) (Addr, error) {
+	var a Addr
+	if s == "" {
+		return a, fmt.Errorf("addr: empty address")
+	}
+	// Handle the optional zone (rejected) and surrounding brackets.
+	if strings.ContainsAny(s, "%[]") {
+		return a, fmt.Errorf("addr: zones/brackets not supported: %q", s)
+	}
+	// Split on "::" (at most one allowed).
+	var headStr, tailStr string
+	switch parts := strings.Split(s, "::"); len(parts) {
+	case 1:
+		headStr = parts[0]
+	case 2:
+		headStr, tailStr = parts[0], parts[1]
+	default:
+		return a, fmt.Errorf("addr: multiple '::' in %q", s)
+	}
+	hasGap := strings.Contains(s, "::")
+
+	parseGroups := func(str string, allowV4 bool) ([]uint16, error) {
+		if str == "" {
+			return nil, nil
+		}
+		fields := strings.Split(str, ":")
+		out := make([]uint16, 0, len(fields)+1)
+		for i, f := range fields {
+			if strings.Contains(f, ".") {
+				// Embedded IPv4: must be the final field of the address.
+				if !allowV4 || i != len(fields)-1 {
+					return nil, fmt.Errorf("addr: misplaced IPv4 in %q", s)
+				}
+				v4, err := parseIPv4(f)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, uint16(v4>>16), uint16(v4&0xffff))
+				continue
+			}
+			if f == "" {
+				return nil, fmt.Errorf("addr: empty group in %q", s)
+			}
+			if len(f) > 4 {
+				return nil, fmt.Errorf("addr: group too long in %q", s)
+			}
+			v, err := strconv.ParseUint(f, 16, 16)
+			if err != nil {
+				return nil, fmt.Errorf("addr: bad group %q in %q", f, s)
+			}
+			out = append(out, uint16(v))
+		}
+		return out, nil
+	}
+
+	head, err := parseGroups(headStr, !hasGap)
+	if err != nil {
+		return a, err
+	}
+	tail, err := parseGroups(tailStr, true)
+	if err != nil {
+		return a, err
+	}
+	total := len(head) + len(tail)
+	if hasGap {
+		if total >= 8 {
+			return a, fmt.Errorf("addr: '::' with full groups in %q", s)
+		}
+	} else if total != 8 {
+		return a, fmt.Errorf("addr: need 8 groups, got %d in %q", total, s)
+	}
+	for i, g := range head {
+		a[2*i] = byte(g >> 8)
+		a[2*i+1] = byte(g)
+	}
+	for i, g := range tail {
+		pos := 8 - len(tail) + i
+		a[2*pos] = byte(g >> 8)
+		a[2*pos+1] = byte(g)
+	}
+	return a, nil
+}
+
+func parseIPv4(s string) (uint32, error) {
+	octets := strings.Split(s, ".")
+	if len(octets) != 4 {
+		return 0, fmt.Errorf("addr: bad IPv4 %q", s)
+	}
+	var v uint32
+	for _, o := range octets {
+		n, err := strconv.ParseUint(o, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("addr: bad IPv4 octet %q", o)
+		}
+		v = v<<8 | uint32(n)
+	}
+	return v, nil
+}
+
+// MustParse is Parse that panics on error; for tests and literals.
+func MustParse(s string) Addr {
+	a, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String renders the address in canonical RFC 5952 form (lowercase,
+// longest run of zero groups compressed, ties to the leftmost run, runs of
+// length one not compressed).
+func (a Addr) String() string {
+	var groups [8]uint16
+	for i := range groups {
+		groups[i] = uint16(a[2*i])<<8 | uint16(a[2*i+1])
+	}
+	// Find longest run of zero groups (length >= 2).
+	bestStart, bestLen := -1, 1
+	runStart, runLen := -1, 0
+	for i := 0; i <= 8; i++ {
+		if i < 8 && groups[i] == 0 {
+			if runStart < 0 {
+				runStart, runLen = i, 0
+			}
+			runLen++
+			continue
+		}
+		if runStart >= 0 && runLen > bestLen {
+			bestStart, bestLen = runStart, runLen
+		}
+		runStart, runLen = -1, 0
+	}
+	var b strings.Builder
+	for i := 0; i < 8; i++ {
+		if i == bestStart {
+			b.WriteString("::")
+			i += bestLen - 1
+			continue
+		}
+		if i > 0 && !(bestStart >= 0 && i == bestStart+bestLen) {
+			b.WriteByte(':')
+		}
+		b.WriteString(strconv.FormatUint(uint64(groups[i]), 16))
+	}
+	if bestStart == 0 && bestLen == 8 {
+		return "::"
+	}
+	s := b.String()
+	return s
+}
+
+// Hi returns the upper 64 bits (the network portion).
+func (a Addr) Hi() uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(a[i])
+	}
+	return v
+}
+
+// Lo returns the lower 64 bits (the Interface Identifier).
+func (a Addr) Lo() uint64 {
+	var v uint64
+	for i := 8; i < 16; i++ {
+		v = v<<8 | uint64(a[i])
+	}
+	return v
+}
+
+// FromParts builds an address from 64-bit network and IID halves.
+func FromParts(hi, lo uint64) Addr {
+	var a Addr
+	for i := 7; i >= 0; i-- {
+		a[i] = byte(hi)
+		hi >>= 8
+	}
+	for i := 15; i >= 8; i-- {
+		a[i] = byte(lo)
+		lo >>= 8
+	}
+	return a
+}
+
+// IID is the lower 64 bits of an IPv6 address as a comparable value.
+type IID uint64
+
+// IID returns the address's Interface Identifier.
+func (a Addr) IID() IID { return IID(a.Lo()) }
+
+// IsZero reports whether the address is all zeros ("::").
+func (a Addr) IsZero() bool { return a == Addr{} }
+
+// WithIID returns a copy of the address with its lower 64 bits replaced.
+func (a Addr) WithIID(iid IID) Addr { return FromParts(a.Hi(), uint64(iid)) }

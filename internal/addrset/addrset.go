@@ -1,0 +1,149 @@
+// Package addrset provides a compact, immutable sorted set of IPv6
+// addresses. At hitlist scale the difference matters: a Go map keyed on
+// 16-byte arrays costs ~80–100 bytes per entry in buckets and overhead,
+// while this representation stores exactly 16 bytes per address in one
+// slab and answers membership by binary search. The paper's 7.9B-address
+// corpus fits in ~127 GB this way versus ~700 GB as a map.
+//
+// Build with Builder (amortized O(n log n)), then query concurrently —
+// the built set is immutable.
+package addrset
+
+import (
+	"sort"
+
+	"hitlist6/internal/addr"
+)
+
+// Set is an immutable sorted address set.
+type Set struct {
+	addrs []addr.Addr // sorted, deduplicated
+}
+
+// Builder accumulates addresses for a Set.
+type Builder struct {
+	addrs []addr.Addr
+}
+
+// NewBuilder returns a builder with optional capacity hint.
+func NewBuilder(capacity int) *Builder {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Builder{addrs: make([]addr.Addr, 0, capacity)}
+}
+
+// Add appends an address (duplicates are removed at Build).
+func (b *Builder) Add(a addr.Addr) { b.addrs = append(b.addrs, a) }
+
+// Build sorts, deduplicates, and freezes the set. The builder must not
+// be used afterwards.
+func (b *Builder) Build() *Set {
+	sort.Slice(b.addrs, func(i, j int) bool { return less(b.addrs[i], b.addrs[j]) })
+	out := b.addrs[:0]
+	for i, a := range b.addrs {
+		if i == 0 || a != out[len(out)-1] {
+			out = append(out, a)
+		}
+	}
+	s := &Set{addrs: out}
+	b.addrs = nil
+	return s
+}
+
+func less(a, b addr.Addr) bool {
+	ah, bh := a.Hi(), b.Hi()
+	if ah != bh {
+		return ah < bh
+	}
+	return a.Lo() < b.Lo()
+}
+
+// Len returns the number of addresses.
+func (s *Set) Len() int { return len(s.addrs) }
+
+// Contains answers membership by binary search.
+func (s *Set) Contains(a addr.Addr) bool {
+	i := sort.Search(len(s.addrs), func(i int) bool { return !less(s.addrs[i], a) })
+	return i < len(s.addrs) && s.addrs[i] == a
+}
+
+// At returns the i-th address in sorted order.
+func (s *Set) At(i int) addr.Addr { return s.addrs[i] }
+
+// Each iterates in sorted order; returning false stops.
+func (s *Set) Each(fn func(a addr.Addr) bool) {
+	for _, a := range s.addrs {
+		if !fn(a) {
+			return
+		}
+	}
+}
+
+// IntersectionSize counts common addresses by merge-walking both sorted
+// slabs in O(n+m) — no hashing, no allocation.
+func IntersectionSize(a, b *Set) int {
+	i, j, n := 0, 0, 0
+	for i < len(a.addrs) && j < len(b.addrs) {
+		switch {
+		case a.addrs[i] == b.addrs[j]:
+			n++
+			i++
+			j++
+		case less(a.addrs[i], b.addrs[j]):
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// Union merges two sets into a new one in O(n+m).
+func Union(a, b *Set) *Set {
+	out := make([]addr.Addr, 0, len(a.addrs)+len(b.addrs))
+	i, j := 0, 0
+	for i < len(a.addrs) && j < len(b.addrs) {
+		switch {
+		case a.addrs[i] == b.addrs[j]:
+			out = append(out, a.addrs[i])
+			i++
+			j++
+		case less(a.addrs[i], b.addrs[j]):
+			out = append(out, a.addrs[i])
+			i++
+		default:
+			out = append(out, b.addrs[j])
+			j++
+		}
+	}
+	out = append(out, a.addrs[i:]...)
+	out = append(out, b.addrs[j:]...)
+	return &Set{addrs: out}
+}
+
+// CountPrefix48 counts distinct /48s by a single sorted pass.
+func (s *Set) CountPrefix48() int {
+	n := 0
+	var prev addr.Prefix48
+	for i, a := range s.addrs {
+		p := a.P48()
+		if i == 0 || p != prev {
+			n++
+			prev = p
+		}
+	}
+	return n
+}
+
+// RangeOfPrefix returns the index range [lo, hi) of addresses inside p,
+// enabling per-prefix slicing without scans.
+func (s *Set) RangeOfPrefix(p addr.Prefix) (lo, hi int) {
+	base := p.Addr()
+	lo = sort.Search(len(s.addrs), func(i int) bool { return !less(s.addrs[i], base) })
+	hi = lo
+	for hi < len(s.addrs) && p.Contains(s.addrs[hi]) {
+		hi++
+	}
+	return lo, hi
+}

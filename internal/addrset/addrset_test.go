@@ -1,0 +1,228 @@
+package addrset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hitlist6/internal/addr"
+)
+
+func buildFrom(addrs ...addr.Addr) *Set {
+	b := NewBuilder(len(addrs))
+	for _, a := range addrs {
+		b.Add(a)
+	}
+	return b.Build()
+}
+
+func TestBuildSortsAndDedupes(t *testing.T) {
+	s := buildFrom(
+		addr.MustParse("2001:db8::3"),
+		addr.MustParse("2001:db8::1"),
+		addr.MustParse("2001:db8::2"),
+		addr.MustParse("2001:db8::1"), // dup
+	)
+	if s.Len() != 3 {
+		t.Fatalf("len: %d", s.Len())
+	}
+	for i := 1; i < s.Len(); i++ {
+		if !(s.At(i-1).Lo() < s.At(i).Lo()) {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestContainsMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBuilder(0)
+	model := make(map[addr.Addr]bool)
+	for i := 0; i < 5000; i++ {
+		a := addr.FromParts(rng.Uint64()&0xff, rng.Uint64()&0xfff)
+		b.Add(a)
+		model[a] = true
+	}
+	s := b.Build()
+	if s.Len() != len(model) {
+		t.Fatalf("len: %d want %d", s.Len(), len(model))
+	}
+	for i := 0; i < 5000; i++ {
+		a := addr.FromParts(rng.Uint64()&0xff, rng.Uint64()&0xfff)
+		if s.Contains(a) != model[a] {
+			t.Fatalf("Contains(%s) disagrees with model", a)
+		}
+	}
+}
+
+func TestEachOrderAndStop(t *testing.T) {
+	s := buildFrom(
+		addr.MustParse("2001:db8::2"),
+		addr.MustParse("2001:db8::1"),
+	)
+	var got []addr.Addr
+	s.Each(func(a addr.Addr) bool { got = append(got, a); return true })
+	if len(got) != 2 || got[0].Lo() != 1 {
+		t.Errorf("order: %v", got)
+	}
+	n := 0
+	s.Each(func(addr.Addr) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop: %d", n)
+	}
+}
+
+func TestIntersectionAndUnion(t *testing.T) {
+	mk := func(lo ...uint64) *Set {
+		b := NewBuilder(len(lo))
+		for _, v := range lo {
+			b.Add(addr.FromParts(0x20010db8_00000000, v))
+		}
+		return b.Build()
+	}
+	a := mk(1, 2, 3, 4, 5)
+	b := mk(4, 5, 6, 7)
+	if got := IntersectionSize(a, b); got != 2 {
+		t.Errorf("intersection: %d", got)
+	}
+	u := Union(a, b)
+	if u.Len() != 7 {
+		t.Errorf("union: %d", u.Len())
+	}
+	for v := uint64(1); v <= 7; v++ {
+		if !u.Contains(addr.FromParts(0x20010db8_00000000, v)) {
+			t.Errorf("union missing %d", v)
+		}
+	}
+	// Empty cases.
+	empty := buildFrom()
+	if IntersectionSize(a, empty) != 0 {
+		t.Error("intersection with empty")
+	}
+	if Union(empty, b).Len() != b.Len() {
+		t.Error("union with empty")
+	}
+}
+
+func TestUnionMatchesModel(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		ba, bb := NewBuilder(0), NewBuilder(0)
+		model := make(map[addr.Addr]bool)
+		for _, x := range xs {
+			a := addr.FromParts(1, uint64(x))
+			ba.Add(a)
+			model[a] = true
+		}
+		for _, y := range ys {
+			a := addr.FromParts(1, uint64(y))
+			bb.Add(a)
+			model[a] = true
+		}
+		u := Union(ba.Build(), bb.Build())
+		if u.Len() != len(model) {
+			return false
+		}
+		ok := true
+		u.Each(func(a addr.Addr) bool {
+			if !model[a] {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountPrefix48(t *testing.T) {
+	s := buildFrom(
+		addr.MustParse("2001:db8:1:1::1"),
+		addr.MustParse("2001:db8:1:2::1"), // same /48
+		addr.MustParse("2001:db8:2::1"),
+		addr.MustParse("2400::1"),
+	)
+	if got := s.CountPrefix48(); got != 3 {
+		t.Errorf("CountPrefix48: %d", got)
+	}
+	if got := buildFrom().CountPrefix48(); got != 0 {
+		t.Errorf("empty: %d", got)
+	}
+}
+
+func TestRangeOfPrefix(t *testing.T) {
+	s := buildFrom(
+		addr.MustParse("2001:db8:1::1"),
+		addr.MustParse("2001:db8:1::2"),
+		addr.MustParse("2001:db8:2::1"),
+		addr.MustParse("2400::1"),
+	)
+	lo, hi := s.RangeOfPrefix(addr.MustParsePrefix("2001:db8:1::/48"))
+	if hi-lo != 2 {
+		t.Fatalf("range size: %d", hi-lo)
+	}
+	for i := lo; i < hi; i++ {
+		if s.At(i).P48() != addr.MustParse("2001:db8:1::").P48() {
+			t.Errorf("out-of-prefix member %s", s.At(i))
+		}
+	}
+	lo, hi = s.RangeOfPrefix(addr.MustParsePrefix("3fff::/32"))
+	if hi != lo {
+		t.Errorf("missing prefix should yield empty range")
+	}
+}
+
+// Benchmarks: the compact set against a map, at identical content.
+
+func benchContent(n int) []addr.Addr {
+	rng := rand.New(rand.NewSource(7))
+	out := make([]addr.Addr, n)
+	for i := range out {
+		out[i] = addr.FromParts(rng.Uint64(), rng.Uint64())
+	}
+	return out
+}
+
+func BenchmarkSetContains(b *testing.B) {
+	content := benchContent(1 << 16)
+	bl := NewBuilder(len(content))
+	for _, a := range content {
+		bl.Add(a)
+	}
+	s := bl.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Contains(content[i%len(content)])
+	}
+}
+
+func BenchmarkMapContains(b *testing.B) {
+	content := benchContent(1 << 16)
+	m := make(map[addr.Addr]struct{}, len(content))
+	for _, a := range content {
+		m[a] = struct{}{}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = m[content[i%len(content)]]
+	}
+}
+
+func BenchmarkSetIntersection(b *testing.B) {
+	content := benchContent(1 << 16)
+	bl1, bl2 := NewBuilder(0), NewBuilder(0)
+	for i, a := range content {
+		if i%2 == 0 {
+			bl1.Add(a)
+		}
+		if i%3 == 0 {
+			bl2.Add(a)
+		}
+	}
+	s1, s2 := bl1.Build(), bl2.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IntersectionSize(s1, s2)
+	}
+}

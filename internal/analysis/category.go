@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"hitlist6/internal/addr"
+	"hitlist6/internal/asdb"
+	"hitlist6/internal/hitlist"
+)
+
+// CategoryBreakdown is one dataset's Figure 5 bar set: the fraction of
+// addresses in each of the seven categories.
+type CategoryBreakdown struct {
+	Counts    [addr.NumCategories]int
+	Fractions [addr.NumCategories]float64
+	Total     int
+}
+
+// v4Rule is the paper's two-rule filter for accepting IPv4-embedded
+// addresses: a candidate only counts when its AS has at least MinInstances
+// candidates and they make up at least MinShare of the AS's addresses.
+type v4Rule struct {
+	MinInstances int
+	MinShare     float64
+}
+
+// defaultV4Rule uses the paper's thresholds (>=100 instances, >=10%).
+var defaultV4Rule = v4Rule{MinInstances: 100, MinShare: 0.10}
+
+// CategorizeDataset computes the Figure 5 breakdown for a dataset. The
+// v4-mapped category applies the paper's AS-corroboration rule, scaled:
+// minInstances is lowered proportionally for small (simulated) datasets,
+// with a floor of 5, because the absolute threshold of 100 assumes a
+// billions-scale corpus.
+func CategorizeDataset(d *hitlist.Dataset, db *asdb.DB) *CategoryBreakdown {
+	rule := defaultV4Rule
+	if d.Len() < 1_000_000 {
+		rule.MinInstances = d.Len() / 10_000
+		if rule.MinInstances < 5 {
+			rule.MinInstances = 5
+		}
+	}
+	return categorize(d, db, rule)
+}
+
+func categorize(d *hitlist.Dataset, db *asdb.DB, rule v4Rule) *CategoryBreakdown {
+	// Pass 1: count per-AS totals and per-AS v4-candidate counts. A
+	// candidate must decode to an IPv4 address under one of the three
+	// encodings; the AS-consistency requirement ("in the same AS as the
+	// IPv6 address they are embedded in") is modelled as the candidate
+	// decoding successfully for a routed address, since the simulator has
+	// no parallel IPv4 topology. The two-rule volume filter is what kills
+	// random-IID false positives either way.
+	totalByAS := make(map[asdb.ASN]int)
+	candByAS := make(map[asdb.ASN]int)
+	d.Each(func(a addr.Addr) bool {
+		asn, ok := db.OriginASN(a)
+		if !ok {
+			return true
+		}
+		totalByAS[asn]++
+		if len(a.IID().V4AnyCandidate()) > 0 {
+			candByAS[asn]++
+		}
+		return true
+	})
+	accepted := make(map[asdb.ASN]bool)
+	for asn, n := range candByAS {
+		if n >= rule.MinInstances && float64(n) >= rule.MinShare*float64(totalByAS[asn]) {
+			accepted[asn] = true
+		}
+	}
+
+	// Pass 2: categorize.
+	out := &CategoryBreakdown{}
+	d.Each(func(a addr.Addr) bool {
+		iid := a.IID()
+		confirmed := false
+		if len(iid.V4AnyCandidate()) > 0 {
+			if asn, ok := db.OriginASN(a); ok && accepted[asn] {
+				confirmed = true
+			}
+		}
+		out.Counts[iid.Categorize(confirmed)]++
+		out.Total++
+		return true
+	})
+	if out.Total > 0 {
+		for i, n := range out.Counts {
+			out.Fractions[i] = float64(n) / float64(out.Total)
+		}
+	}
+	return out
+}
+
+// Figure5 pairs the NTP and Hitlist single-day breakdowns.
+type Figure5 struct {
+	NTP, Hitlist *CategoryBreakdown
+}
+
+// ComputeFigure5 builds Figure 5 from the two single-day datasets.
+func ComputeFigure5(ntpDay, hitlistDay *hitlist.Dataset, db *asdb.DB) *Figure5 {
+	return &Figure5{
+		NTP:     CategorizeDataset(ntpDay, db),
+		Hitlist: CategorizeDataset(hitlistDay, db),
+	}
+}

@@ -1,0 +1,122 @@
+// Package analysis computes the paper's evaluation artifacts from built
+// datasets and collectors: the Table 1 dataset comparison, the entropy
+// CDFs of Figures 1, 3 and 4, the lifetime distributions of Figure 2, and
+// the seven-category addressing breakdown of Figure 5.
+package analysis
+
+import (
+	"sort"
+
+	"hitlist6/internal/addr"
+	"hitlist6/internal/asdb"
+	"hitlist6/internal/hitlist"
+	"hitlist6/internal/stats"
+)
+
+// EntropyDistribution builds the empirical distribution of normalized IID
+// Shannon entropy over a dataset (one curve of Figure 1).
+func EntropyDistribution(d *hitlist.Dataset) *stats.Distribution {
+	samples := make([]float64, 0, d.Len())
+	d.Each(func(a addr.Addr) bool {
+		samples = append(samples, a.IID().NormalizedEntropy())
+		return true
+	})
+	return stats.NewDistribution(samples)
+}
+
+// EntropyDistributionOfIntersection builds the entropy distribution over
+// the addresses common to two datasets (Figure 1's "NTP ∩ Hitlist" and
+// "NTP ∩ CAIDA" curves).
+func EntropyDistributionOfIntersection(a, b *hitlist.Dataset) *stats.Distribution {
+	small, large := a, b
+	if small.Len() > large.Len() {
+		small, large = large, small
+	}
+	var samples []float64
+	small.Each(func(x addr.Addr) bool {
+		if large.Contains(x) {
+			samples = append(samples, x.IID().NormalizedEntropy())
+		}
+		return true
+	})
+	return stats.NewDistribution(samples)
+}
+
+// Figure1 bundles the five curves of Figure 1.
+type Figure1 struct {
+	NTP, Hitlist, CAIDA    *stats.Distribution
+	NTPxHitlist, NTPxCAIDA *stats.Distribution
+}
+
+// ComputeFigure1 builds every Figure 1 curve.
+func ComputeFigure1(ntp, hl, caida *hitlist.Dataset) *Figure1 {
+	return &Figure1{
+		NTP:         EntropyDistribution(ntp),
+		Hitlist:     EntropyDistribution(hl),
+		CAIDA:       EntropyDistribution(caida),
+		NTPxHitlist: EntropyDistributionOfIntersection(ntp, hl),
+		NTPxCAIDA:   EntropyDistributionOfIntersection(ntp, caida),
+	}
+}
+
+// ASEntropy is one AS's entropy curve with its address count (Figure 4).
+type ASEntropy struct {
+	ASN   asdb.ASN
+	Name  string
+	Count int
+	Dist  *stats.Distribution
+}
+
+// TopASEntropy groups a dataset by origin AS and returns the entropy
+// distributions of the topN most-observed ASes, descending by address
+// count (Figures 4a and 4b).
+func TopASEntropy(d *hitlist.Dataset, db *asdb.DB, topN int) []ASEntropy {
+	samplesByAS := make(map[asdb.ASN][]float64)
+	d.Each(func(a addr.Addr) bool {
+		if asn, ok := db.OriginASN(a); ok {
+			samplesByAS[asn] = append(samplesByAS[asn], a.IID().NormalizedEntropy())
+		}
+		return true
+	})
+	out := make([]ASEntropy, 0, len(samplesByAS))
+	for asn, samples := range samplesByAS {
+		e := ASEntropy{ASN: asn, Count: len(samples)}
+		if as := db.Get(asn); as != nil {
+			e.Name = as.Name
+		}
+		e.Dist = stats.NewDistribution(samples)
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].ASN < out[j].ASN
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
+// ASTypeShare tallies the fraction of a dataset's addresses per ASdb
+// type (§4.1's "Phone Provider" comparison).
+func ASTypeShare(d *hitlist.Dataset, db *asdb.DB) map[asdb.ASType]float64 {
+	counts := make(map[asdb.ASType]int)
+	total := 0
+	d.Each(func(a addr.Addr) bool {
+		if as := db.Lookup(a); as != nil {
+			counts[as.Type]++
+			total++
+		}
+		return true
+	})
+	out := make(map[asdb.ASType]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	for ty, n := range counts {
+		out[ty] = float64(n) / float64(total)
+	}
+	return out
+}

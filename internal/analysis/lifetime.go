@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"time"
+
+	"hitlist6/internal/addr"
+	"hitlist6/internal/collector"
+	"hitlist6/internal/stats"
+)
+
+// LifetimeMarks are the x-axis tick durations the paper's Figure 2 uses.
+var LifetimeMarks = []time.Duration{
+	time.Second, time.Minute, time.Hour,
+	24 * time.Hour, 7 * 24 * time.Hour, 30 * 24 * time.Hour, 180 * 24 * time.Hour,
+}
+
+// AddressLifetimes builds the distribution of observed address lifetimes
+// in seconds (Figure 2a's CCDF input).
+func AddressLifetimes(c *collector.Collector) *stats.Distribution {
+	samples := make([]float64, 0, c.NumAddrs())
+	c.Addrs(func(_ addr.Addr, r *collector.AddrRecord) bool {
+		samples = append(samples, r.Lifetime().Seconds())
+		return true
+	})
+	return stats.NewDistribution(samples)
+}
+
+// Figure2a is the CCDF of address lifetimes evaluated at the paper's
+// marks, plus the headline fractions the paper quotes in §4.1.
+type Figure2a struct {
+	CCDF []stats.CDFPoint
+	// ObservedOnce is the fraction of addresses with zero lifetime
+	// (paper: "more than 60% of them are observed only once").
+	ObservedOnce float64
+	// WeekOrLonger, MonthOrLonger, SixMonthsOrLonger are the long-tail
+	// fractions (paper: 1.2%, 0.4%, 0.03%).
+	WeekOrLonger, MonthOrLonger, SixMonthsOrLonger float64
+}
+
+// ComputeFigure2a evaluates Figure 2a from the collector.
+func ComputeFigure2a(c *collector.Collector) *Figure2a {
+	dist := AddressLifetimes(c)
+	marks := make([]float64, len(LifetimeMarks))
+	for i, m := range LifetimeMarks {
+		marks[i] = m.Seconds()
+	}
+	f := &Figure2a{CCDF: dist.CCDFAt(marks)}
+	n := float64(dist.N())
+	if n == 0 {
+		return f
+	}
+	f.ObservedOnce = dist.CDF(0)
+	f.WeekOrLonger = dist.CCDF((7*24*time.Hour - time.Second).Seconds())
+	f.MonthOrLonger = dist.CCDF((30*24*time.Hour - time.Second).Seconds())
+	f.SixMonthsOrLonger = dist.CCDF((180 * 24 * time.Hour).Seconds())
+	return f
+}
+
+// Figure2b is the CDF of IID lifetimes split by entropy class.
+type Figure2b struct {
+	// ByClass maps each entropy class to its lifetime distribution.
+	ByClass map[addr.EntropyClass]*stats.Distribution
+	// ObservedOnce per class (paper: low-entropy IIDs are seen once ~10%
+	// more often, yet persist longer).
+	ObservedOnce map[addr.EntropyClass]float64
+	// WeekOrLonger per class (paper: 10% of low vs <=5% of med/high).
+	WeekOrLonger map[addr.EntropyClass]float64
+}
+
+// ComputeFigure2b evaluates Figure 2b from the collector.
+func ComputeFigure2b(c *collector.Collector) *Figure2b {
+	samples := map[addr.EntropyClass][]float64{}
+	c.IIDs(func(iid addr.IID, r *collector.IIDRecord) bool {
+		cls := iid.EntropyClass()
+		samples[cls] = append(samples[cls], r.Lifetime().Seconds())
+		return true
+	})
+	f := &Figure2b{
+		ByClass:      make(map[addr.EntropyClass]*stats.Distribution),
+		ObservedOnce: make(map[addr.EntropyClass]float64),
+		WeekOrLonger: make(map[addr.EntropyClass]float64),
+	}
+	week := (7*24*time.Hour - time.Second).Seconds()
+	for cls, s := range samples {
+		d := stats.NewDistribution(s)
+		f.ByClass[cls] = d
+		f.ObservedOnce[cls] = d.CDF(0)
+		f.WeekOrLonger[cls] = d.CCDF(week)
+	}
+	return f
+}

@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"fmt"
+
+	"hitlist6/internal/asdb"
+	"hitlist6/internal/hitlist"
+	"hitlist6/internal/stats"
+)
+
+// Table1 holds the three dataset rows of the paper's Table 1, with the
+// NTP corpus as the reference for the "Common" columns.
+type Table1 struct {
+	NTP, Hitlist, CAIDA hitlist.Stats
+}
+
+// ComputeTable1 derives the dataset-comparison table.
+func ComputeTable1(ntp, hl, caida *hitlist.Dataset, db *asdb.DB) *Table1 {
+	return &Table1{
+		NTP:     hitlist.ComputeStats(ntp, db, nil),
+		Hitlist: hitlist.ComputeStats(hl, db, ntp),
+		CAIDA:   hitlist.ComputeStats(caida, db, ntp),
+	}
+}
+
+// Render prints the table in the paper's layout.
+func (t *Table1) Render() string {
+	tb := stats.NewTable("Table 1: Comparison of IPv6 datasets",
+		"Dataset", "IPv6 Addresses", "Common", "ASNs", "Common", "/48s", "Common", "Avg/48")
+	row := func(s hitlist.Stats, isRef bool) {
+		common := func(v int) string {
+			if isRef {
+				return "-"
+			}
+			return stats.Comma(int64(v))
+		}
+		tb.AddRow(s.Name,
+			stats.Comma(int64(s.Addrs)), common(s.CommonAddrs),
+			stats.Comma(int64(s.ASNs)), common(s.CommonASNs),
+			stats.Comma(int64(s.P48s)), common(s.CommonP48s),
+			fmt.Sprintf("%.1f", s.AvgPer48))
+	}
+	row(t.NTP, true)
+	row(t.Hitlist, false)
+	row(t.CAIDA, false)
+	return tb.String()
+}

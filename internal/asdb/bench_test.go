@@ -1,0 +1,49 @@
+package asdb
+
+import (
+	"math/rand"
+	"testing"
+
+	"hitlist6/internal/addr"
+)
+
+// BenchmarkTrieLookup measures longest-prefix matching against a table of
+// 10k routes, the hot path of every per-address AS attribution.
+func BenchmarkTrieLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := NewTrie[int]()
+	for i := 0; i < 10_000; i++ {
+		bits := 24 + rng.Intn(25) // /24../48
+		p, err := addr.NewPrefix(addr.FromParts(rng.Uint64(), 0), bits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr.Insert(p, i)
+	}
+	probes := make([]addr.Addr, 4096)
+	for i := range probes {
+		probes[i] = addr.FromParts(rng.Uint64(), rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(probes[i%len(probes)])
+	}
+}
+
+// BenchmarkTrieInsert measures route installation.
+func BenchmarkTrieInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	prefixes := make([]addr.Prefix, 4096)
+	for i := range prefixes {
+		p, err := addr.NewPrefix(addr.FromParts(rng.Uint64(), 0), 32+rng.Intn(17))
+		if err != nil {
+			b.Fatal(err)
+		}
+		prefixes[i] = p
+	}
+	b.ResetTimer()
+	tr := NewTrie[int]()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(prefixes[i%len(prefixes)], i)
+	}
+}

@@ -1,0 +1,120 @@
+// Package asdb provides the Autonomous System database the paper's
+// analyses depend on: prefix-to-ASN longest-prefix matching over a 128-bit
+// binary radix trie, AS metadata (name, country, ASdb-style type
+// classification), and per-AS aggregation helpers.
+package asdb
+
+import (
+	"fmt"
+
+	"hitlist6/internal/addr"
+)
+
+// trieNode is one node of a binary radix trie over address bits. A node
+// may carry a value (a route) and two children.
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	val   V
+	has   bool
+}
+
+// Trie is a longest-prefix-match table from IPv6 prefixes to values. The
+// zero value is not usable; create with NewTrie.
+type Trie[V any] struct {
+	root *trieNode[V]
+	n    int
+}
+
+// NewTrie returns an empty routing trie.
+func NewTrie[V any]() *Trie[V] {
+	return &Trie[V]{root: &trieNode[V]{}}
+}
+
+// Len returns the number of inserted prefixes.
+func (t *Trie[V]) Len() int { return t.n }
+
+func bitAt(a addr.Addr, i int) int {
+	return int(a[i/8]>>(7-i%8)) & 1
+}
+
+// Insert adds or replaces the value for a prefix.
+func (t *Trie[V]) Insert(p addr.Prefix, v V) {
+	n := t.root
+	a := p.Addr()
+	for i := 0; i < p.Bits(); i++ {
+		b := bitAt(a, i)
+		if n.child[b] == nil {
+			n.child[b] = &trieNode[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.has {
+		t.n++
+	}
+	n.val, n.has = v, true
+}
+
+// Lookup returns the value of the longest prefix containing a, and whether
+// any prefix matched.
+func (t *Trie[V]) Lookup(a addr.Addr) (V, bool) {
+	var best V
+	found := false
+	n := t.root
+	if n.has {
+		best, found = n.val, true
+	}
+	for i := 0; i < 128; i++ {
+		n = n.child[bitAt(a, i)]
+		if n == nil {
+			break
+		}
+		if n.has {
+			best, found = n.val, true
+		}
+	}
+	return best, found
+}
+
+// LookupPrefix returns the value stored for exactly p, if present.
+func (t *Trie[V]) LookupPrefix(p addr.Prefix) (V, bool) {
+	n := t.root
+	a := p.Addr()
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[bitAt(a, i)]
+		if n == nil {
+			var zero V
+			return zero, false
+		}
+	}
+	return n.val, n.has
+}
+
+// Walk visits every stored (prefix, value) pair in lexicographic bit
+// order. The callback returning false stops the walk.
+func (t *Trie[V]) Walk(fn func(p addr.Prefix, v V) bool) {
+	var rec func(n *trieNode[V], a addr.Addr, depth int) bool
+	rec = func(n *trieNode[V], a addr.Addr, depth int) bool {
+		if n == nil {
+			return true
+		}
+		if n.has {
+			p, err := addr.NewPrefix(a, depth)
+			if err != nil {
+				panic(fmt.Sprintf("asdb: internal depth %d: %v", depth, err))
+			}
+			if !fn(p, n.val) {
+				return false
+			}
+		}
+		if depth == 128 {
+			return true
+		}
+		if !rec(n.child[0], a, depth+1) {
+			return false
+		}
+		b := a
+		b[depth/8] |= 1 << (7 - depth%8)
+		return rec(n.child[1], b, depth+1)
+	}
+	rec(t.root, addr.Addr{}, 0)
+}

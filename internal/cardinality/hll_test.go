@@ -1,0 +1,153 @@
+package cardinality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hitlist6/internal/addr"
+)
+
+func TestNewHLLValidation(t *testing.T) {
+	for _, p := range []uint8{0, 3, 17, 200} {
+		if _, err := NewHLL(p); err == nil {
+			t.Errorf("precision %d should fail", p)
+		}
+	}
+	h, err := NewHLL(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SizeBytes() != 1<<14 {
+		t.Errorf("size: %d", h.SizeBytes())
+	}
+}
+
+func TestEstimateWithinErrorBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{100, 10_000, 500_000} {
+		h, err := NewHLL(14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			h.AddUint64(rng.Uint64())
+		}
+		est := h.Estimate()
+		relErr := math.Abs(est-float64(n)) / float64(n)
+		// Allow 5 standard errors (0.81% at precision 14).
+		if relErr > 5*h.RelativeError() {
+			t.Errorf("n=%d: estimate %.0f, rel err %.3f", n, est, relErr)
+		}
+	}
+}
+
+func TestEstimateDuplicatesIgnored(t *testing.T) {
+	h, err := NewHLL(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100_000; i++ {
+		h.AddUint64(uint64(i % 100)) // only 100 distinct
+	}
+	est := h.Estimate()
+	if est < 80 || est > 120 {
+		t.Errorf("duplicate-heavy estimate: %.1f want ~100", est)
+	}
+}
+
+func TestEstimateEmpty(t *testing.T) {
+	h, _ := NewHLL(10)
+	if est := h.Estimate(); est != 0 {
+		t.Errorf("empty estimate: %v", est)
+	}
+}
+
+func TestAddAddr(t *testing.T) {
+	h, _ := NewHLL(14)
+	rng := rand.New(rand.NewSource(2))
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		h.AddAddr(addr.FromParts(rng.Uint64(), rng.Uint64()))
+	}
+	est := h.Estimate()
+	relErr := math.Abs(est-n) / n
+	if relErr > 5*h.RelativeError() {
+		t.Errorf("addr estimate %.0f, rel err %.3f", est, relErr)
+	}
+	// Clustered addresses (same /64, distinct IIDs) must still count
+	// distinctly — the hash must not collapse on shared hi bits.
+	h2, _ := NewHLL(14)
+	for i := 0; i < n; i++ {
+		h2.AddAddr(addr.FromParts(0x20010db8_00000000, uint64(i)))
+	}
+	est2 := h2.Estimate()
+	if math.Abs(est2-n)/n > 5*h2.RelativeError() {
+		t.Errorf("clustered addr estimate %.0f", est2)
+	}
+}
+
+func TestMergeEqualsUnion(t *testing.T) {
+	a, _ := NewHLL(13)
+	b, _ := NewHLL(13)
+	u, _ := NewHLL(13)
+	rng := rand.New(rand.NewSource(3))
+	// Overlapping sets: 30k in a, 30k in b, 10k shared.
+	shared := make([]uint64, 10_000)
+	for i := range shared {
+		shared[i] = rng.Uint64()
+	}
+	for i := 0; i < 20_000; i++ {
+		v := rng.Uint64()
+		a.AddUint64(v)
+		u.AddUint64(v)
+	}
+	for i := 0; i < 20_000; i++ {
+		v := rng.Uint64()
+		b.AddUint64(v)
+		u.AddUint64(v)
+	}
+	for _, v := range shared {
+		a.AddUint64(v)
+		b.AddUint64(v)
+		u.AddUint64(v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	// Merged estimate must match the union sketch exactly (register max
+	// is associative), hence ~50k.
+	if got, want := a.Estimate(), u.Estimate(); got != want {
+		t.Errorf("merge estimate %.1f != union %.1f", got, want)
+	}
+	if rel := math.Abs(a.Estimate()-50_000) / 50_000; rel > 5*a.RelativeError() {
+		t.Errorf("union estimate off: %.0f", a.Estimate())
+	}
+}
+
+func TestMergePrecisionMismatch(t *testing.T) {
+	a, _ := NewHLL(10)
+	b, _ := NewHLL(12)
+	if err := a.Merge(b); err == nil {
+		t.Error("precision mismatch should fail")
+	}
+}
+
+func BenchmarkHLLAdd(b *testing.B) {
+	h, _ := NewHLL(14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AddUint64(uint64(i))
+	}
+}
+
+func BenchmarkHLLEstimate(b *testing.B) {
+	h, _ := NewHLL(14)
+	for i := 0; i < 1_000_000; i++ {
+		h.AddUint64(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Estimate()
+	}
+}

@@ -1,0 +1,261 @@
+// Package collector implements the passive observation store: the paper's
+// measurement core. Every NTP query's source address is recorded with
+// first/last sighting times, a sighting count and the set of vantage
+// servers that saw it; EUI-64 IIDs additionally carry their per-/64
+// sighting spans, which power the tracking analyses of §5.
+//
+// The store is deliberately compact: one fixed-size record per unique
+// address keyed on the 16-byte address value, and per-/64 span maps only
+// for the EUI-64 subset (3% of the paper's corpus). It is written by a
+// single goroutine (the query replay) and read by many.
+package collector
+
+import (
+	"time"
+
+	"hitlist6/internal/addr"
+)
+
+// AddrRecord summarizes all sightings of one source address.
+type AddrRecord struct {
+	// First and Last are Unix seconds of the first and last sighting.
+	First, Last int64
+	// Count is the number of sightings.
+	Count uint32
+	// Servers is a bitmask of vantage servers (bit i = server i); the
+	// paper ran 27 servers, so a uint32 suffices.
+	Servers uint32
+}
+
+// Lifetime returns the observed address lifetime (paper Fig 2a): the span
+// between first and last sighting. Addresses seen once have lifetime 0.
+func (r AddrRecord) Lifetime() time.Duration {
+	return time.Duration(r.Last-r.First) * time.Second
+}
+
+// Span is a first/last sighting window.
+type Span struct {
+	First, Last int64
+}
+
+// IIDRecord aggregates sightings of one Interface Identifier across all
+// addresses carrying it. For EUI-64 IIDs, P64s maps each /64 the IID
+// appeared in to its sighting span — the raw material for §5.2.
+type IIDRecord struct {
+	First, Last int64
+	Count       uint32
+	// P64s is nil for non-EUI-64 IIDs (kept only where tracking applies).
+	P64s map[addr.Prefix64]*Span
+}
+
+// Lifetime returns the IID's observed lifetime (paper Fig 2b, 6a).
+func (r *IIDRecord) Lifetime() time.Duration {
+	return time.Duration(r.Last-r.First) * time.Second
+}
+
+// Collector accumulates observations. Not safe for concurrent writes.
+type Collector struct {
+	addrs map[addr.Addr]*AddrRecord
+	iids  map[addr.IID]*IIDRecord
+	total uint64
+}
+
+// New returns an empty collector.
+func New() *Collector {
+	return &Collector{
+		addrs: make(map[addr.Addr]*AddrRecord),
+		iids:  make(map[addr.IID]*IIDRecord),
+	}
+}
+
+// Observe records one sighting of a at time t from the given vantage
+// server index (0-based; indexes >= 32 share the top bit).
+func (c *Collector) Observe(a addr.Addr, t time.Time, server int) {
+	ts := t.Unix()
+	var serverBit uint32
+	if server >= 0 {
+		if server > 31 {
+			server = 31
+		}
+		serverBit = 1 << uint(server)
+	}
+	c.total++
+
+	if r, ok := c.addrs[a]; ok {
+		if ts < r.First {
+			r.First = ts
+		}
+		if ts > r.Last {
+			r.Last = ts
+		}
+		r.Count++
+		r.Servers |= serverBit
+	} else {
+		c.addrs[a] = &AddrRecord{First: ts, Last: ts, Count: 1, Servers: serverBit}
+	}
+
+	iid := a.IID()
+	r, ok := c.iids[iid]
+	if !ok {
+		r = &IIDRecord{First: ts, Last: ts}
+		if iid.IsEUI64() {
+			r.P64s = make(map[addr.Prefix64]*Span, 1)
+		}
+		c.iids[iid] = r
+	} else {
+		if ts < r.First {
+			r.First = ts
+		}
+		if ts > r.Last {
+			r.Last = ts
+		}
+	}
+	r.Count++
+	if r.P64s != nil {
+		p := a.P64()
+		if sp, ok := r.P64s[p]; ok {
+			if ts < sp.First {
+				sp.First = ts
+			}
+			if ts > sp.Last {
+				sp.Last = ts
+			}
+		} else {
+			r.P64s[p] = &Span{First: ts, Last: ts}
+		}
+	}
+}
+
+// NumAddrs returns the number of unique addresses observed.
+func (c *Collector) NumAddrs() int { return len(c.addrs) }
+
+// NumIIDs returns the number of unique IIDs observed.
+func (c *Collector) NumIIDs() int { return len(c.iids) }
+
+// TotalObservations returns the raw sighting count.
+func (c *Collector) TotalObservations() uint64 { return c.total }
+
+// Get returns the record for an address, or nil.
+func (c *Collector) Get(a addr.Addr) *AddrRecord { return c.addrs[a] }
+
+// GetIID returns the record for an IID, or nil.
+func (c *Collector) GetIID(iid addr.IID) *IIDRecord { return c.iids[iid] }
+
+// Addrs iterates every (address, record) pair. Iteration order is
+// unspecified; the callback returning false stops early.
+func (c *Collector) Addrs(fn func(a addr.Addr, r *AddrRecord) bool) {
+	for a, r := range c.addrs {
+		if !fn(a, r) {
+			return
+		}
+	}
+}
+
+// IIDs iterates every (IID, record) pair.
+func (c *Collector) IIDs(fn func(iid addr.IID, r *IIDRecord) bool) {
+	for iid, r := range c.iids {
+		if !fn(iid, r) {
+			return
+		}
+	}
+}
+
+// EUI64IIDs iterates only EUI-64 IIDs (those with /64 tracking).
+func (c *Collector) EUI64IIDs(fn func(iid addr.IID, r *IIDRecord) bool) {
+	for iid, r := range c.iids {
+		if r.P64s == nil {
+			continue
+		}
+		if !fn(iid, r) {
+			return
+		}
+	}
+}
+
+// AddressList materializes all observed addresses; prefer Addrs for large
+// corpora.
+func (c *Collector) AddressList() []addr.Addr {
+	out := make([]addr.Addr, 0, len(c.addrs))
+	for a := range c.addrs {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Merge folds another collector's observations into c, as if every
+// sighting had been recorded here: first/last spans widen, counts add,
+// server masks union, and per-/64 spans merge. The other collector is not
+// modified. This is how per-vantage (or per-shard) collectors combine
+// into the study corpus.
+func (c *Collector) Merge(o *Collector) {
+	for a, r := range o.addrs {
+		if mine, ok := c.addrs[a]; ok {
+			if r.First < mine.First {
+				mine.First = r.First
+			}
+			if r.Last > mine.Last {
+				mine.Last = r.Last
+			}
+			mine.Count += r.Count
+			mine.Servers |= r.Servers
+		} else {
+			cp := *r
+			c.addrs[a] = &cp
+		}
+	}
+	for iid, r := range o.iids {
+		mine, ok := c.iids[iid]
+		if !ok {
+			mine = &IIDRecord{First: r.First, Last: r.Last}
+			if r.P64s != nil {
+				mine.P64s = make(map[addr.Prefix64]*Span, len(r.P64s))
+			}
+			c.iids[iid] = mine
+		} else {
+			if r.First < mine.First {
+				mine.First = r.First
+			}
+			if r.Last > mine.Last {
+				mine.Last = r.Last
+			}
+		}
+		mine.Count += r.Count
+		if r.P64s != nil {
+			if mine.P64s == nil {
+				mine.P64s = make(map[addr.Prefix64]*Span, len(r.P64s))
+			}
+			for p, sp := range r.P64s {
+				if msp, ok := mine.P64s[p]; ok {
+					if sp.First < msp.First {
+						msp.First = sp.First
+					}
+					if sp.Last > msp.Last {
+						msp.Last = sp.Last
+					}
+				} else {
+					cp := *sp
+					mine.P64s[p] = &cp
+				}
+			}
+		}
+	}
+	c.total += o.total
+}
+
+// Unique48s counts distinct /48 prefixes in the corpus (Table 1 column).
+func (c *Collector) Unique48s() int {
+	seen := make(map[addr.Prefix48]struct{})
+	for a := range c.addrs {
+		seen[a.P48()] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Unique64s counts distinct /64 prefixes in the corpus.
+func (c *Collector) Unique64s() int {
+	seen := make(map[addr.Prefix64]struct{})
+	for a := range c.addrs {
+		seen[a.P64()] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,165 @@
+package collector
+
+import (
+	"testing"
+	"time"
+
+	"hitlist6/internal/addr"
+)
+
+var t0 = time.Date(2022, 1, 25, 0, 0, 0, 0, time.UTC)
+
+func TestObserveBasics(t *testing.T) {
+	c := New()
+	a := addr.MustParse("2001:db8::1")
+	c.Observe(a, t0, 0)
+	c.Observe(a, t0.Add(time.Hour), 3)
+	c.Observe(a, t0.Add(2*time.Hour), 0)
+
+	if c.NumAddrs() != 1 {
+		t.Fatalf("NumAddrs: %d", c.NumAddrs())
+	}
+	r := c.Get(a)
+	if r == nil {
+		t.Fatal("record missing")
+	}
+	if r.Count != 3 {
+		t.Errorf("count: %d", r.Count)
+	}
+	if r.Lifetime() != 2*time.Hour {
+		t.Errorf("lifetime: %v", r.Lifetime())
+	}
+	if r.Servers != 0b1001 {
+		t.Errorf("servers: %b", r.Servers)
+	}
+	if c.TotalObservations() != 3 {
+		t.Errorf("total: %d", c.TotalObservations())
+	}
+}
+
+func TestObserveOutOfOrderTimestamps(t *testing.T) {
+	c := New()
+	a := addr.MustParse("2001:db8::2")
+	c.Observe(a, t0.Add(time.Hour), 0)
+	c.Observe(a, t0, 0) // earlier sighting arrives later
+	r := c.Get(a)
+	if r.First != t0.Unix() || r.Last != t0.Add(time.Hour).Unix() {
+		t.Errorf("first/last: %d/%d", r.First, r.Last)
+	}
+}
+
+func TestObservedOnceLifetimeZero(t *testing.T) {
+	c := New()
+	a := addr.MustParse("2001:db8::3")
+	c.Observe(a, t0, 1)
+	if lt := c.Get(a).Lifetime(); lt != 0 {
+		t.Errorf("lifetime of single sighting: %v", lt)
+	}
+}
+
+func TestIIDAggregation(t *testing.T) {
+	c := New()
+	// Same IID in two /64s (a renumbered EUI-64 host).
+	mac := addr.MAC{0xf0, 0x02, 0x20, 1, 2, 3}
+	iid := addr.EUI64FromMAC(mac)
+	a1 := addr.FromParts(0x20010db8_00010000, uint64(iid))
+	a2 := addr.FromParts(0x20010db8_00020000, uint64(iid))
+	c.Observe(a1, t0, 0)
+	c.Observe(a2, t0.Add(48*time.Hour), 0)
+
+	r := c.GetIID(iid)
+	if r == nil {
+		t.Fatal("IID record missing")
+	}
+	if r.Count != 2 {
+		t.Errorf("count: %d", r.Count)
+	}
+	if r.Lifetime() != 48*time.Hour {
+		t.Errorf("lifetime: %v", r.Lifetime())
+	}
+	if len(r.P64s) != 2 {
+		t.Fatalf("P64s: %d", len(r.P64s))
+	}
+	sp := r.P64s[a1.P64()]
+	if sp == nil || sp.First != t0.Unix() || sp.Last != t0.Unix() {
+		t.Errorf("span for first /64: %+v", sp)
+	}
+}
+
+func TestNonEUI64IIDNoP64Tracking(t *testing.T) {
+	c := New()
+	a := addr.MustParse("2001:db8::dead:beef:1234:5678")
+	c.Observe(a, t0, 0)
+	r := c.GetIID(a.IID())
+	if r == nil {
+		t.Fatal("IID record missing")
+	}
+	if r.P64s != nil {
+		t.Error("non-EUI-64 IID should not carry /64 tracking")
+	}
+}
+
+func TestEUI64IIDsIteration(t *testing.T) {
+	c := New()
+	mac := addr.MAC{0xf0, 0x02, 0x20, 9, 9, 9}
+	eui := addr.FromParts(0x20010db8_00010000, uint64(addr.EUI64FromMAC(mac)))
+	plain := addr.MustParse("2001:db8::1111:2222:3333:4444")
+	c.Observe(eui, t0, 0)
+	c.Observe(plain, t0, 0)
+
+	n := 0
+	c.EUI64IIDs(func(iid addr.IID, r *IIDRecord) bool {
+		n++
+		if !iid.IsEUI64() {
+			t.Errorf("non-EUI-64 IID in EUI64IIDs iteration")
+		}
+		return true
+	})
+	if n != 1 {
+		t.Errorf("EUI64IIDs visited %d, want 1", n)
+	}
+}
+
+func TestUniquePrefixCounts(t *testing.T) {
+	c := New()
+	c.Observe(addr.MustParse("2001:db8:1:1::a"), t0, 0)
+	c.Observe(addr.MustParse("2001:db8:1:2::b"), t0, 0)
+	c.Observe(addr.MustParse("2001:db8:2:1::c"), t0, 0)
+	if got := c.Unique48s(); got != 2 {
+		t.Errorf("Unique48s: %d", got)
+	}
+	if got := c.Unique64s(); got != 3 {
+		t.Errorf("Unique64s: %d", got)
+	}
+	if got := len(c.AddressList()); got != 3 {
+		t.Errorf("AddressList: %d", got)
+	}
+}
+
+func TestIterationEarlyStop(t *testing.T) {
+	c := New()
+	for i := 0; i < 10; i++ {
+		c.Observe(addr.FromParts(0x20010db8_00000000, uint64(i+1)), t0, 0)
+	}
+	n := 0
+	c.Addrs(func(addr.Addr, *AddrRecord) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("Addrs early stop: %d", n)
+	}
+	n = 0
+	c.IIDs(func(addr.IID, *IIDRecord) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("IIDs early stop: %d", n)
+	}
+}
+
+func TestServerIndexClamping(t *testing.T) {
+	c := New()
+	a := addr.MustParse("2001:db8::9")
+	c.Observe(a, t0, 40) // above bit 31: clamps to bit 31
+	c.Observe(a, t0, -1) // negative: no bit
+	r := c.Get(a)
+	if r.Servers != 1<<31 {
+		t.Errorf("servers: %b", r.Servers)
+	}
+}

@@ -1,0 +1,137 @@
+package collector
+
+import (
+	"testing"
+	"time"
+
+	"hitlist6/internal/addr"
+	"hitlist6/internal/simnet"
+)
+
+func TestMergeEquivalentToSequential(t *testing.T) {
+	base := time.Date(2022, 2, 1, 0, 0, 0, 0, time.UTC)
+	mac := addr.MAC{0xf0, 0x02, 0x20, 1, 2, 3}
+	eui := addr.EUI64FromMAC(mac)
+	obs := []struct {
+		a      addr.Addr
+		at     time.Time
+		server int
+	}{
+		{addr.MustParse("2001:db8::1"), base, 0},
+		{addr.MustParse("2001:db8::1"), base.Add(time.Hour), 1},
+		{addr.MustParse("2001:db8::2"), base.Add(2 * time.Hour), 2},
+		{addr.FromParts(0x20010db8_00010000, uint64(eui)), base, 3},
+		{addr.FromParts(0x20010db8_00020000, uint64(eui)), base.Add(48 * time.Hour), 4},
+	}
+
+	sequential := New()
+	for _, o := range obs {
+		sequential.Observe(o.a, o.at, o.server)
+	}
+
+	// Split across two collectors, interleaved, then merge.
+	a, b := New(), New()
+	for i, o := range obs {
+		if i%2 == 0 {
+			a.Observe(o.a, o.at, o.server)
+		} else {
+			b.Observe(o.a, o.at, o.server)
+		}
+	}
+	a.Merge(b)
+
+	if a.NumAddrs() != sequential.NumAddrs() || a.NumIIDs() != sequential.NumIIDs() {
+		t.Fatalf("counts differ: %d/%d vs %d/%d",
+			a.NumAddrs(), a.NumIIDs(), sequential.NumAddrs(), sequential.NumIIDs())
+	}
+	if a.TotalObservations() != sequential.TotalObservations() {
+		t.Errorf("total: %d vs %d", a.TotalObservations(), sequential.TotalObservations())
+	}
+	sequential.Addrs(func(ad addr.Addr, want *AddrRecord) bool {
+		got := a.Get(ad)
+		if got == nil || *got != *want {
+			t.Errorf("record for %s: %+v vs %+v", ad, got, want)
+		}
+		return true
+	})
+	// EUI-64 /64 spans merged.
+	wantIID := sequential.GetIID(eui)
+	gotIID := a.GetIID(eui)
+	if gotIID == nil || len(gotIID.P64s) != len(wantIID.P64s) {
+		t.Fatalf("IID P64s: %+v vs %+v", gotIID, wantIID)
+	}
+	for p, sp := range wantIID.P64s {
+		got := gotIID.P64s[p]
+		if got == nil || *got != *sp {
+			t.Errorf("span for %s: %+v vs %+v", p, got, sp)
+		}
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	base := time.Date(2022, 2, 1, 0, 0, 0, 0, time.UTC)
+	src := New()
+	src.Observe(addr.MustParse("2001:db8::9"), base, 5)
+	dst := New()
+	dst.Merge(src)
+	if dst.NumAddrs() != 1 || dst.Get(addr.MustParse("2001:db8::9")) == nil {
+		t.Fatal("merge into empty lost data")
+	}
+	// Source unchanged.
+	if src.NumAddrs() != 1 {
+		t.Fatal("source mutated")
+	}
+	// Records are copies: mutating dst must not touch src.
+	dst.Get(addr.MustParse("2001:db8::9")).Count = 99
+	if src.Get(addr.MustParse("2001:db8::9")).Count == 99 {
+		t.Error("merge shares record pointers with source")
+	}
+}
+
+// TestParallelReplayMatchesSerial is the scalability correctness check:
+// a sharded parallel replay merged together must equal the serial corpus.
+func TestParallelReplayMatchesSerial(t *testing.T) {
+	cfg := simnet.DefaultConfig(13, 0.04)
+	cfg.Days = 15
+	w, err := simnet.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial := New()
+	w.GenerateQueries(func(q simnet.Query) {
+		serial.Observe(q.Addr, q.Time, 0)
+	})
+
+	const shards = 4
+	parts := make([]*Collector, shards)
+	for i := range parts {
+		parts[i] = New()
+	}
+	w.GenerateQueriesParallel(shards, func(shard int, q simnet.Query) {
+		parts[shard].Observe(q.Addr, q.Time, 0)
+	})
+	merged := New()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+
+	if merged.NumAddrs() != serial.NumAddrs() {
+		t.Fatalf("addrs: %d vs %d", merged.NumAddrs(), serial.NumAddrs())
+	}
+	if merged.TotalObservations() != serial.TotalObservations() {
+		t.Fatalf("observations: %d vs %d", merged.TotalObservations(), serial.TotalObservations())
+	}
+	mismatches := 0
+	serial.Addrs(func(a addr.Addr, want *AddrRecord) bool {
+		got := merged.Get(a)
+		if got == nil || got.First != want.First || got.Last != want.Last || got.Count != want.Count {
+			mismatches++
+			return mismatches < 5
+		}
+		return true
+	})
+	if mismatches > 0 {
+		t.Errorf("%d per-address record mismatches", mismatches)
+	}
+}

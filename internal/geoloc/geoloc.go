@@ -1,0 +1,148 @@
+// Package geoloc implements the Rye–Beverly EUI-64 geolocation technique
+// the paper applies in §5.3: infer, per OUI, the most common offset
+// between wired MACs (recovered from EUI-64 IIDs) and wireless BSSIDs in
+// wardriving data, then link each wired MAC to a geolocated BSSID at that
+// offset.
+package geoloc
+
+import (
+	"sort"
+
+	"hitlist6/internal/addr"
+	"hitlist6/internal/wigle"
+)
+
+// OffsetCandidate is one inferred per-OUI offset with its support.
+type OffsetCandidate struct {
+	OUI     addr.OUI
+	Offset  int32
+	Matches int
+}
+
+// maxOffsetMagnitude bounds the offsets considered during inference; real
+// wired/wireless pairs sit within a few addresses of each other, and an
+// unbounded tally would be dominated by coincidences.
+const maxOffsetMagnitude = 64
+
+// InferOffsets implements the paper's §5.3 procedure: for every wired MAC
+// (from EUI-64 IIDs), compare against every wardriven BSSID in the same
+// OUI, tally the candidate offsets, and per OUI keep the offset with the
+// largest number of wired-to-BSSID matches. Only OUIs with at least
+// minPairs contributing wired MACs qualify (the paper requires 500 pairs;
+// pass a scaled threshold for smaller corpora).
+func InferOffsets(wired []addr.MAC, db *wigle.DB, minPairs int) []OffsetCandidate {
+	type key struct {
+		oui addr.OUI
+		off int32
+	}
+	tally := make(map[key]int)
+	contributors := make(map[addr.OUI]map[addr.MAC]struct{})
+
+	for _, m := range wired {
+		o := m.OUI()
+		bssids := db.ByOUI(o)
+		if len(bssids) == 0 {
+			continue
+		}
+		for _, b := range bssids {
+			off := m.SuffixOffset(b)
+			if off == 0 || off > maxOffsetMagnitude || off < -maxOffsetMagnitude {
+				continue
+			}
+			tally[key{o, off}]++
+			cset := contributors[o]
+			if cset == nil {
+				cset = make(map[addr.MAC]struct{})
+				contributors[o] = cset
+			}
+			cset[m] = struct{}{}
+		}
+	}
+
+	best := make(map[addr.OUI]OffsetCandidate)
+	for k, n := range tally {
+		cur, ok := best[k.oui]
+		if !ok || n > cur.Matches || (n == cur.Matches && absLess(k.off, cur.Offset)) {
+			best[k.oui] = OffsetCandidate{OUI: k.oui, Offset: k.off, Matches: n}
+		}
+	}
+	var out []OffsetCandidate
+	for o, c := range best {
+		if len(contributors[o]) >= minPairs {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Matches != out[j].Matches {
+			return out[i].Matches > out[j].Matches
+		}
+		return out[i].OUI.String() < out[j].OUI.String()
+	})
+	return out
+}
+
+func absLess(a, b int32) bool {
+	aa, bb := a, b
+	if aa < 0 {
+		aa = -aa
+	}
+	if bb < 0 {
+		bb = -bb
+	}
+	return aa < bb
+}
+
+// Geolocated is one successfully located device.
+type Geolocated struct {
+	Wired    addr.MAC
+	BSSID    addr.MAC
+	Location wigle.Location
+}
+
+// Apply links wired MACs to geolocated BSSIDs using the inferred per-OUI
+// offsets, returning every successful linkage.
+func Apply(wired []addr.MAC, offsets []OffsetCandidate, db *wigle.DB) []Geolocated {
+	offByOUI := make(map[addr.OUI]int32, len(offsets))
+	for _, c := range offsets {
+		offByOUI[c.OUI] = c.Offset
+	}
+	var out []Geolocated
+	seen := make(map[addr.MAC]struct{})
+	for _, m := range wired {
+		if _, dup := seen[m]; dup {
+			continue
+		}
+		seen[m] = struct{}{}
+		off, ok := offByOUI[m.OUI()]
+		if !ok {
+			continue
+		}
+		bssid := m.AddOffset(off)
+		if loc, ok := db.Lookup(bssid); ok {
+			out = append(out, Geolocated{Wired: m, BSSID: bssid, Location: loc})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return macLess(out[i].Wired, out[j].Wired)
+	})
+	return out
+}
+
+func macLess(x, y addr.MAC) bool {
+	for i := 0; i < 6; i++ {
+		if x[i] != y[i] {
+			return x[i] < y[i]
+		}
+	}
+	return false
+}
+
+// CountryCount tallies geolocated devices per country using a coordinate
+// classifier. The paper reports 140 countries with Germany at 75%.
+func CountryCount(results []Geolocated, countryOf func(wigle.Location) string) map[string]int {
+	out := make(map[string]int)
+	for _, g := range results {
+		out[countryOf(g.Location)]++
+	}
+	return out
+}

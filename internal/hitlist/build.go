@@ -1,0 +1,270 @@
+package hitlist
+
+import (
+	"math/rand"
+	"time"
+
+	"hitlist6/internal/addr"
+	"hitlist6/internal/collector"
+	"hitlist6/internal/rdns"
+	"hitlist6/internal/scan"
+	"hitlist6/internal/simnet"
+	"hitlist6/internal/tga"
+)
+
+// FromCollector converts a passive collector's corpus into a Dataset.
+func FromCollector(name string, c *collector.Collector) *Dataset {
+	d := NewDataset(name)
+	c.Addrs(func(a addr.Addr, _ *collector.AddrRecord) bool {
+		d.Add(a)
+		return true
+	})
+	return d
+}
+
+// ActiveConfig parameterizes the IPv6-Hitlist-style active pipeline.
+type ActiveConfig struct {
+	// Rounds is the number of snapshot campaigns across the window
+	// (the real Hitlist publishes weekly).
+	Rounds int
+	// Start/End bound the campaign window.
+	Start, End time.Time
+	// SourceASN is the measurement vantage's origin AS.
+	SourceASN uint32
+	// Seed drives scan permutations and target generation.
+	Seed uint64
+	// TGALowBytes is how many low-byte candidates (::1, ::2, ...) target
+	// generation derives per discovered /64.
+	TGALowBytes int
+	// AliasProbes and AliasThreshold parameterize alias pre-filtering.
+	AliasProbes, AliasThreshold int
+	// UseEntropyIP enables the Entropy/IP-style target generation model
+	// trained on each round's responsive set.
+	UseEntropyIP bool
+	// EntropyIPBudget is the candidate count per round for the model.
+	EntropyIPBudget int
+	// UseRDNS enables ip6.arpa NXDOMAIN tree-walk enumeration as a seed
+	// source (Fiebig et al.).
+	UseRDNS bool
+	// RDNSQueryBudget bounds the DNS queries per round (0 = unlimited).
+	RDNSQueryBudget uint64
+}
+
+// DefaultActiveConfig mirrors the Hitlist's cadence across a window.
+func DefaultActiveConfig(start, end time.Time, seed uint64) ActiveConfig {
+	return ActiveConfig{
+		Rounds:          4,
+		Start:           start,
+		End:             end,
+		SourceASN:       21928,
+		Seed:            seed,
+		TGALowBytes:     4,
+		AliasProbes:     16,
+		AliasThreshold:  12,
+		UseEntropyIP:    true,
+		EntropyIPBudget: 512,
+		UseRDNS:         true,
+		RDNSQueryBudget: 0,
+	}
+}
+
+// ActiveResult is the output of the active pipeline: the hitlist plus its
+// published alias list.
+type ActiveResult struct {
+	Dataset *Dataset
+	Aliases *AliasList
+	// ProbesSent counts every ICMPv6 probe the campaign emitted, for the
+	// paper's active-vs-passive cost comparison.
+	ProbesSent uint64
+}
+
+// BuildActiveHitlist runs the Gasser-et-al-style pipeline against the
+// simulated Internet:
+//
+//  1. seed targets from public knowledge: router addresses (public
+//     traceroute archives) and ::1 of every routed /48 (DNS/system lists);
+//  2. Yarrp traces toward seeds, harvesting every responding hop (this is
+//     where CPE WAN addresses surface);
+//  3. target generation: low-byte candidates in every /64 learned so far;
+//  4. ZMap6 verification of all candidates;
+//  5. alias detection on responding /64s, publishing the alias list and
+//     filtering aliased responses out of the hitlist.
+//
+// The result is infrastructure-heavy and client-poor — exactly the bias
+// the paper demonstrates against its NTP corpus.
+func BuildActiveHitlist(w *simnet.World, cfg ActiveConfig) (*ActiveResult, error) {
+	res := &ActiveResult{
+		Dataset: NewDataset("IPv6 Hitlist (simulated)"),
+		Aliases: NewAliasList(),
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 1
+	}
+	window := cfg.End.Sub(cfg.Start)
+	responsive := make(map[addr.Addr]struct{})
+
+	for round := 0; round < cfg.Rounds; round++ {
+		at := cfg.Start.Add(window * time.Duration(round) / time.Duration(cfg.Rounds))
+
+		// Step 1: seeds — public traceroute archives (routers), systematic
+		// ::1 probing of routed /48s, and the DNS/public-list snapshot
+		// (servers, dynamic-DNS CPE). The last source is what gives the
+		// real Hitlist its CPE-and-server middle ground.
+		var seeds []addr.Addr
+		seeds = append(seeds, w.Routers()...)
+		for _, rp := range w.ASDB.RoutedPrefixes() {
+			for _, p48 := range split48s(rp.Prefix, 64) {
+				seeds = append(seeds, p48.Addr().WithIID(1))
+			}
+		}
+		seeds = append(seeds, w.PublicSeeds(at)...)
+		if cfg.UseRDNS {
+			// ip6.arpa tree walk over every routed prefix.
+			zone := rdns.BuildZone(w, at)
+			for _, rp := range w.ASDB.RoutedPrefixes() {
+				seeds = append(seeds, rdns.Walk(zone, rp.Prefix, cfg.RDNSQueryBudget)...)
+			}
+		}
+
+		// Step 2: Yarrp over the seeds.
+		y := &scan.Yarrp{World: w, SourceASN: cfg.SourceASN, Seed: cfg.Seed + uint64(round)}
+		traces, err := y.Trace(seeds, at)
+		if err != nil {
+			return nil, err
+		}
+		res.ProbesSent += y.Traces * 8 // ~8 TTL probes per trace
+		discovered := scan.DiscoveredAddrs(traces)
+
+		// Step 3: target generation from every /64 seen so far.
+		p64s := make(map[addr.Prefix64]struct{})
+		for a := range discovered {
+			p64s[a.P64()] = struct{}{}
+		}
+		for a := range responsive {
+			p64s[a.P64()] = struct{}{}
+		}
+		var candidates []addr.Addr
+		for a := range discovered {
+			candidates = append(candidates, a)
+		}
+		for p := range p64s {
+			for lb := 1; lb <= cfg.TGALowBytes; lb++ {
+				candidates = append(candidates, p.Addr().WithIID(addr.IID(lb)))
+			}
+		}
+
+		// Step 3b: Entropy/IP-style model candidates, trained on what the
+		// campaign believes is responsive so far. As on the real Internet,
+		// the model inherits the training set's infrastructure bias and
+		// hit rates are low — the ablation benchmarks quantify this.
+		if cfg.UseEntropyIP && len(responsive)+len(discovered) >= 2 {
+			var train []addr.Addr
+			for a := range responsive {
+				train = append(train, a)
+			}
+			for a := range discovered {
+				train = append(train, a)
+			}
+			if model, err := tga.NewEntropyIP(train); err == nil {
+				rng := rand.New(rand.NewSource(int64(cfg.Seed) + int64(round)))
+				candidates = append(candidates, model.Generate(cfg.EntropyIPBudget, rng)...)
+			}
+		}
+
+		// Step 4: ZMap6 verification.
+		z := &scan.ZMap6{World: w, Seed: cfg.Seed ^ uint64(round)<<8}
+		results, err := z.Scan(candidates, at)
+		if err != nil {
+			return nil, err
+		}
+		res.ProbesSent += z.Sent
+		for _, r := range results {
+			if r.Responded {
+				responsive[r.Target] = struct{}{}
+			}
+		}
+
+		// Step 5: alias detection over responding /64s.
+		hot := make(map[addr.Prefix64]int)
+		for a := range responsive {
+			hot[a.P64()]++
+		}
+		for p := range hot {
+			if res.Aliases.Contains(p) {
+				continue
+			}
+			if scan.DetectAlias(w, p, at, cfg.AliasProbes, cfg.AliasThreshold,
+				int64(cfg.Seed)+int64(uint64(p))) {
+				res.Aliases.Add(p)
+			}
+			res.ProbesSent += uint64(cfg.AliasProbes)
+		}
+	}
+
+	// Publish: responsive addresses outside aliased prefixes.
+	for a := range responsive {
+		if !res.Aliases.Contains(a.P64()) {
+			res.Dataset.Add(a)
+		}
+	}
+	return res, nil
+}
+
+// CAIDAConfig parameterizes the routed-/48 campaign.
+type CAIDAConfig struct {
+	// At is the (single) campaign date.
+	At time.Time
+	// SourceASN is the Ark vantage's origin AS.
+	SourceASN uint32
+	// Seed drives the target permutation.
+	Seed uint64
+	// MaxSplit48s caps the number of /48s probed per routed prefix
+	// (0 = unlimited), bounding benchmark cost at large scales.
+	MaxSplit48s int
+}
+
+// BuildCAIDA48 runs the CAIDA methodology (§3): split every routed prefix
+// of length <= /48 into /48s — prefixes shorter than /32 get a single
+// probe — and Yarrp to the ::1 of each. Discovered addresses are every
+// responding hop plus responding destinations.
+func BuildCAIDA48(w *simnet.World, cfg CAIDAConfig) (*Dataset, error) {
+	var targets []addr.Addr
+	for _, rp := range w.ASDB.RoutedPrefixes() {
+		if rp.Prefix.Bits() < 32 {
+			targets = append(targets, rp.Prefix.Addr().WithIID(1))
+			continue
+		}
+		for _, p48 := range split48s(rp.Prefix, cfg.MaxSplit48s) {
+			targets = append(targets, p48.Addr().WithIID(1))
+		}
+	}
+	y := &scan.Yarrp{World: w, SourceASN: cfg.SourceASN, Seed: cfg.Seed}
+	traces, err := y.Trace(targets, cfg.At)
+	if err != nil {
+		return nil, err
+	}
+	d := NewDataset("CAIDA routed /48 (simulated)")
+	for a := range scan.DiscoveredAddrs(traces) {
+		d.Add(a)
+	}
+	return d, nil
+}
+
+// split48s enumerates the /48s inside a prefix of length 32..48. limit
+// caps the enumeration (0 = no cap).
+func split48s(p addr.Prefix, limit int) []addr.Prefix48 {
+	bits := p.Bits()
+	if bits > 48 {
+		return []addr.Prefix48{p.Addr().P48()}
+	}
+	n := 1 << (48 - bits)
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	base := p.Addr().Hi()
+	out := make([]addr.Prefix48, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, addr.Prefix48(base|uint64(i)<<16))
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+// Package hitlist builds and compares the three address corpora of the
+// paper's Table 1: the passive NTP corpus, an IPv6-Hitlist-style active
+// hitlist (seed lists + Yarrp + ZMap6 + target generation + alias
+// pre-filtering, after Gasser et al.), and a CAIDA-style routed-/48 Yarrp
+// campaign. It also implements the /48-truncated release format the
+// paper's ethics section mandates.
+package hitlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hitlist6/internal/addr"
+	"hitlist6/internal/asdb"
+)
+
+// Dataset is a named set of IPv6 addresses with set algebra and the
+// aggregate statistics Table 1 reports.
+type Dataset struct {
+	Name  string
+	addrs map[addr.Addr]struct{}
+}
+
+// NewDataset returns an empty dataset.
+func NewDataset(name string) *Dataset {
+	return &Dataset{Name: name, addrs: make(map[addr.Addr]struct{})}
+}
+
+// Add inserts an address.
+func (d *Dataset) Add(a addr.Addr) { d.addrs[a] = struct{}{} }
+
+// AddAll inserts every address of the slice.
+func (d *Dataset) AddAll(as []addr.Addr) {
+	for _, a := range as {
+		d.addrs[a] = struct{}{}
+	}
+}
+
+// Contains reports membership.
+func (d *Dataset) Contains(a addr.Addr) bool {
+	_, ok := d.addrs[a]
+	return ok
+}
+
+// Len returns the number of addresses.
+func (d *Dataset) Len() int { return len(d.addrs) }
+
+// Each iterates the addresses in unspecified order; returning false stops.
+func (d *Dataset) Each(fn func(a addr.Addr) bool) {
+	for a := range d.addrs {
+		if !fn(a) {
+			return
+		}
+	}
+}
+
+// Addrs materializes the address set.
+func (d *Dataset) Addrs() []addr.Addr {
+	out := make([]addr.Addr, 0, len(d.addrs))
+	for a := range d.addrs {
+		out = append(out, a)
+	}
+	return out
+}
+
+// IntersectionSize counts addresses present in both datasets.
+func IntersectionSize(a, b *Dataset) int {
+	small, large := a, b
+	if small.Len() > large.Len() {
+		small, large = large, small
+	}
+	n := 0
+	for x := range small.addrs {
+		if large.Contains(x) {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats is one dataset's Table 1 row.
+type Stats struct {
+	Name     string
+	Addrs    int
+	ASNs     int
+	P48s     int
+	AvgPer48 float64
+	// CommonAddrs/CommonASNs/CommonP48s are intersections with a
+	// reference dataset (the NTP corpus in Table 1), zero when no
+	// reference was supplied.
+	CommonAddrs int
+	CommonASNs  int
+	CommonP48s  int
+}
+
+// ComputeStats derives a dataset's aggregate row. reference may be nil.
+func ComputeStats(d *Dataset, db *asdb.DB, reference *Dataset) Stats {
+	st := Stats{Name: d.Name, Addrs: d.Len()}
+	asns := make(map[asdb.ASN]struct{})
+	p48s := make(map[addr.Prefix48]struct{})
+	for a := range d.addrs {
+		if asn, ok := db.OriginASN(a); ok {
+			asns[asn] = struct{}{}
+		}
+		p48s[a.P48()] = struct{}{}
+	}
+	st.ASNs = len(asns)
+	st.P48s = len(p48s)
+	if st.P48s > 0 {
+		st.AvgPer48 = float64(st.Addrs) / float64(st.P48s)
+	}
+	if reference != nil {
+		st.CommonAddrs = IntersectionSize(d, reference)
+		refASNs := make(map[asdb.ASN]struct{})
+		refP48s := make(map[addr.Prefix48]struct{})
+		for a := range reference.addrs {
+			if asn, ok := db.OriginASN(a); ok {
+				refASNs[asn] = struct{}{}
+			}
+			refP48s[a.P48()] = struct{}{}
+		}
+		for asn := range asns {
+			if _, ok := refASNs[asn]; ok {
+				st.CommonASNs++
+			}
+		}
+		for p := range p48s {
+			if _, ok := refP48s[p]; ok {
+				st.CommonP48s++
+			}
+		}
+	}
+	return st
+}
+
+// AliasList is the set of known aliased /64 prefixes a hitlist publishes
+// alongside its addresses, used as the pre-filter for active campaigns.
+type AliasList struct {
+	prefixes map[addr.Prefix64]struct{}
+}
+
+// NewAliasList returns an empty alias list.
+func NewAliasList() *AliasList {
+	return &AliasList{prefixes: make(map[addr.Prefix64]struct{})}
+}
+
+// Add records an aliased /64.
+func (l *AliasList) Add(p addr.Prefix64) { l.prefixes[p] = struct{}{} }
+
+// Contains reports whether the /64 is known aliased.
+func (l *AliasList) Contains(p addr.Prefix64) bool {
+	_, ok := l.prefixes[p]
+	return ok
+}
+
+// Len returns the number of aliased prefixes.
+func (l *AliasList) Len() int { return len(l.prefixes) }
+
+// Each iterates the aliased prefixes.
+func (l *AliasList) Each(fn func(p addr.Prefix64) bool) {
+	for p := range l.prefixes {
+		if !fn(p) {
+			return
+		}
+	}
+}
+
+// Release renders the dataset truncated to /48 granularity, one prefix
+// per line, sorted — the paper's ethical release format ("we will only be
+// releasing our dataset at the /48 level").
+func Release(d *Dataset) string {
+	seen := make(map[addr.Prefix48]struct{})
+	for a := range d.addrs {
+		seen[a.P48()] = struct{}{}
+	}
+	lines := make([]string, 0, len(seen))
+	for p := range seen {
+		lines = append(lines, p.String())
+	}
+	sort.Strings(lines)
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %d active /48 prefixes (addresses withheld for privacy)\n",
+		d.Name, len(lines))
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package ntp
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// QueryResult is the outcome of one client exchange.
+type QueryResult struct {
+	// Offset is the estimated clock offset to the server.
+	Offset time.Duration
+	// Delay is the round-trip delay.
+	Delay time.Duration
+	// Stratum is the server's reported stratum.
+	Stratum uint8
+	// Packet is the raw decoded response.
+	Packet Packet
+}
+
+// Query performs one SNTP exchange with the server at addr
+// ("host:port"), waiting at most timeout for the reply.
+func Query(addr string, timeout time.Duration) (*QueryResult, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ntp: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+	}
+
+	t1 := time.Now()
+	req := NewClientRequest(t1)
+	var buf [PacketSize]byte
+	if _, err := req.SerializeTo(buf[:]); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(buf[:]); err != nil {
+		return nil, fmt.Errorf("ntp: send: %w", err)
+	}
+
+	var in [512]byte
+	n, err := conn.Read(in[:])
+	if err != nil {
+		return nil, fmt.Errorf("ntp: recv: %w", err)
+	}
+	t4 := time.Now()
+
+	var resp Packet
+	if err := resp.DecodeFromBytes(in[:n]); err != nil {
+		return nil, err
+	}
+	if resp.Mode != ModeServer {
+		return nil, fmt.Errorf("ntp: unexpected mode %v in reply", resp.Mode)
+	}
+	if resp.OriginTime != req.TransmitTime {
+		return nil, fmt.Errorf("ntp: origin timestamp mismatch (possible spoof)")
+	}
+	if resp.Stratum == 0 || resp.Stratum > 15 {
+		return nil, fmt.Errorf("ntp: kiss-o'-death or invalid stratum %d", resp.Stratum)
+	}
+
+	offset, delay := OffsetAndDelay(t1, resp.ReceiveTime.Time(), resp.TransmitTime.Time(), t4)
+	return &QueryResult{
+		Offset:  offset,
+		Delay:   delay,
+		Stratum: resp.Stratum,
+		Packet:  resp,
+	}, nil
+}

@@ -1,0 +1,103 @@
+package ntp
+
+import (
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestServerConcurrentClients hammers the server from many goroutines,
+// checking that every exchange completes, counters balance, and the
+// observer sees every request — the vantage points served whole countries
+// at once, so the serve loop must hold up under concurrency.
+func TestServerConcurrentClients(t *testing.T) {
+	var observed atomic.Uint64
+	srv := newLoopbackServer(t, ServerConfig{
+		Stratum: 2,
+		Observer: func(netip.Addr, time.Time) {
+			observed.Add(1)
+		},
+	})
+	defer srv.Close()
+
+	const (
+		goroutines = 8
+		perClient  = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perClient)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				res, err := Query(srv.LocalAddr().String(), 5*time.Second)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Stratum != 2 {
+					errs <- errStratum(res.Stratum)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	want := uint64(goroutines * perClient)
+	deadline := time.Now().Add(2 * time.Second)
+	for observed.Load() < want && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := observed.Load(); got != want {
+		t.Errorf("observer saw %d requests, want %d", got, want)
+	}
+	reqs, replies, dropped := srv.Stats()
+	if reqs != want || replies != want {
+		t.Errorf("stats: %d/%d want %d/%d", reqs, replies, want, want)
+	}
+	if dropped != 0 {
+		t.Errorf("dropped: %d", dropped)
+	}
+}
+
+type errStratum uint8
+
+func (e errStratum) Error() string { return "unexpected stratum" }
+
+// BenchmarkPacketDecode measures the allocation-free decode path.
+func BenchmarkPacketDecode(b *testing.B) {
+	req := NewClientRequest(time.Now())
+	var buf [PacketSize]byte
+	if _, err := req.SerializeTo(buf[:]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var p Packet
+	for i := 0; i < b.N; i++ {
+		if err := p.DecodeFromBytes(buf[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPacketSerialize measures encode.
+func BenchmarkPacketSerialize(b *testing.B) {
+	p := NewServerReply(&Packet{Version: 4, Mode: ModeClient}, time.Now(), time.Now(), 2, 0x42)
+	var buf [PacketSize]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SerializeTo(buf[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

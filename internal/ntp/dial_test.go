@@ -1,0 +1,8 @@
+package ntp
+
+import "net"
+
+// netDialUDP is a tiny test helper kept out of ntp_test.go for clarity.
+func netDialUDP(addr string) (net.Conn, error) {
+	return net.Dial("udp", addr)
+}

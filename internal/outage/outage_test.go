@@ -1,0 +1,156 @@
+package outage
+
+import (
+	"testing"
+	"time"
+
+	"hitlist6/internal/asdb"
+	"hitlist6/internal/simnet"
+)
+
+// outageWorld builds a world where Chinanet (AS4134) goes dark for two
+// days starting day 6.
+func outageWorld(t *testing.T) (*simnet.World, time.Time, time.Time) {
+	t.Helper()
+	cfg := simnet.DefaultConfig(17, 0.08)
+	cfg.Days = 20
+	for i := range cfg.ASes {
+		if cfg.ASes[i].ASN == 4134 {
+			cfg.ASes[i].Outages = []simnet.OutageWindow{{StartDay: 6, Hours: 48}}
+		}
+	}
+	w, err := simnet.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := w.Origin.AddDate(0, 0, 6)
+	return w, from, from.Add(48 * time.Hour)
+}
+
+func TestOutageSilencesQueriesAndProbes(t *testing.T) {
+	w, from, to := outageWorld(t)
+	mid := from.Add(24 * time.Hour)
+
+	// No queries from AS4134 during the outage.
+	w.GenerateQueries(func(q simnet.Query) {
+		if q.Time.Before(from) || !q.Time.Before(to) {
+			return
+		}
+		if as := w.ASDB.Lookup(q.Addr); as != nil && as.ASN == 4134 {
+			t.Fatalf("query from dark AS at %v", q.Time)
+		}
+	})
+
+	// Devices in the AS are unreachable mid-outage, reachable after.
+	checked := false
+	for _, d := range w.Devices() {
+		if d.Firewalled() || d.ASNAt(mid) != 4134 {
+			continue
+		}
+		af, at := d.ActiveWindow()
+		if af.After(from) || at.Before(to.Add(24*time.Hour)) {
+			continue // device window doesn't span the comparison times
+		}
+		if w.Probe(d.AddressAt(mid), mid).Responded {
+			t.Fatalf("device in dark AS responded")
+		}
+		after := to.Add(24 * time.Hour)
+		if !w.Probe(d.AddressAt(after), after).Responded {
+			continue // may be aliased-site etc.; one positive is enough
+		}
+		checked = true
+		break
+	}
+	if !checked {
+		t.Log("no device verified reachable post-outage (acceptable at tiny scale)")
+	}
+}
+
+func TestDetectFindsInjectedOutage(t *testing.T) {
+	w, from, to := outageWorld(t)
+	series, err := BuildSeries(w, 6*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := Detect(series, DefaultConfig())
+	var hit *Event
+	for i, e := range events {
+		if e.ASN == 4134 && e.Overlaps(from, to) {
+			hit = &events[i]
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatalf("injected outage not detected; events: %v", events)
+	}
+	// The detected window must cover most of the true 48h outage.
+	if hit.DarkBins < 6 { // 48h / 6h bins = 8, allow edge slack
+		t.Errorf("detected only %d dark bins", hit.DarkBins)
+	}
+	if hit.String() == "" {
+		t.Error("event should render")
+	}
+
+	// No false outage reports for healthy large ASes.
+	for _, e := range events {
+		if e.ASN == 4134 {
+			continue
+		}
+		med := e.MedianVolume
+		if med > 20 && e.DarkBins > 4 {
+			t.Errorf("suspicious false positive: %v", e)
+		}
+	}
+}
+
+func TestBuildSeriesValidation(t *testing.T) {
+	w, _, _ := outageWorld(t)
+	if _, err := BuildSeries(w, 0); err == nil {
+		t.Error("zero bin should fail")
+	}
+}
+
+func TestDetectEmptySeries(t *testing.T) {
+	s := &Series{Bin: time.Hour, Bins: 10, ByAS: map[asdb.ASN][]int{}}
+	if got := Detect(s, DefaultConfig()); len(got) != 0 {
+		t.Errorf("events from empty series: %v", got)
+	}
+}
+
+func TestDetectQuietASSkipped(t *testing.T) {
+	s := &Series{Bin: time.Hour, Bins: 8, ByAS: map[asdb.ASN][]int{
+		7: {1, 0, 0, 0, 1, 0, 0, 1}, // median below MinMedian
+	}}
+	if got := Detect(s, DefaultConfig()); len(got) != 0 {
+		t.Errorf("quiet AS should be skipped: %v", got)
+	}
+}
+
+func TestDetectRunAtSeriesEnd(t *testing.T) {
+	// A dark run reaching the final bin must still be reported.
+	counts := make([]int, 12)
+	for i := 0; i < 12; i++ {
+		counts[i] = 100
+	}
+	counts[10], counts[11] = 0, 0
+	s := &Series{Bin: time.Hour, Bins: 12, ByAS: map[asdb.ASN][]int{42: counts}}
+	events := Detect(s, DefaultConfig())
+	if len(events) != 1 || events[0].DarkBins != 2 {
+		t.Fatalf("events: %v", events)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median(nil); m != 0 {
+		t.Errorf("empty median: %v", m)
+	}
+	if m := median([]int{5}); m != 5 {
+		t.Errorf("single: %v", m)
+	}
+	if m := median([]int{1, 3, 2}); m != 2 {
+		t.Errorf("odd: %v", m)
+	}
+	if m := median([]int{1, 2, 3, 4}); m != 2.5 {
+		t.Errorf("even: %v", m)
+	}
+}

@@ -1,0 +1,200 @@
+// Package rdns implements reverse-DNS-based IPv6 address discovery: the
+// ip6.arpa NXDOMAIN tree-walking technique (Fiebig et al., PAM'17;
+// Borgolte et al., S&P'18) the paper's related work cites as an active
+// discovery source for hitlists.
+//
+// The ip6.arpa zone is a 32-level nibble tree. RFC 8020-compliant servers
+// answer NXDOMAIN for an empty subtree and NOERROR for an empty
+// non-terminal, so a walker can enumerate every PTR record while pruning
+// all dead branches — discovering each name with O(32 × 16) queries
+// instead of 2^128 probes.
+//
+// Zone is the authoritative-server stand-in (built from the simulated
+// world's devices that plausibly have PTR records), and Walk is the
+// enumerator.
+package rdns
+
+import (
+	"sort"
+	"time"
+
+	"hitlist6/internal/addr"
+	"hitlist6/internal/simnet"
+)
+
+// RCode is the subset of DNS response codes the walk distinguishes.
+type RCode uint8
+
+const (
+	// NXDomain: nothing exists at or below this name (RFC 8020).
+	NXDomain RCode = iota
+	// NoError: the name exists (an empty non-terminal or a PTR owner).
+	NoError
+)
+
+// Zone is a nibble-tree of PTR records, queried the way an
+// authoritative ip6.arpa server would answer.
+type Zone struct {
+	root *zoneNode
+	n    int
+	// Queries counts lookups served, for cost accounting.
+	Queries uint64
+}
+
+type zoneNode struct {
+	children [16]*zoneNode
+	ptr      bool // a PTR record terminates here (depth 32)
+}
+
+// NewZone returns an empty zone.
+func NewZone() *Zone { return &Zone{root: &zoneNode{}} }
+
+// Add inserts a PTR record for an address.
+func (z *Zone) Add(a addr.Addr) {
+	n := z.root
+	for i := 0; i < 32; i++ {
+		nib := nibbleAt(a, i)
+		if n.children[nib] == nil {
+			n.children[nib] = &zoneNode{}
+		}
+		n = n.children[nib]
+	}
+	if !n.ptr {
+		z.n++
+	}
+	n.ptr = true
+}
+
+// Len returns the number of PTR records.
+func (z *Zone) Len() int { return z.n }
+
+// nibbleAt returns the i-th nibble of the address, most significant
+// first (the label order is reversed in actual ip6.arpa names; the walk
+// is isomorphic either way).
+func nibbleAt(a addr.Addr, i int) int {
+	b := a[i/2]
+	if i%2 == 0 {
+		return int(b >> 4)
+	}
+	return int(b & 0xf)
+}
+
+// Query answers for the name formed by the first len(nibbles) labels:
+// the rcode, and the PTR target when the name is a full 32-nibble owner.
+func (z *Zone) Query(nibbles []int) (RCode, bool) {
+	z.Queries++
+	n := z.root
+	for _, nib := range nibbles {
+		if nib < 0 || nib > 15 {
+			return NXDomain, false
+		}
+		if n.children[nib] == nil {
+			return NXDomain, false
+		}
+		n = n.children[nib]
+	}
+	return NoError, n.ptr && len(nibbles) == 32
+}
+
+// Walk enumerates every PTR record under the given prefix by NXDOMAIN
+// tree walking. maxQueries bounds the cost (0 = unlimited); the walk
+// stops early when exhausted. Results are in nibble-lexicographic order.
+func Walk(z *Zone, under addr.Prefix, maxQueries uint64) []addr.Addr {
+	if under.Bits()%4 != 0 {
+		// ip6.arpa delegations are nibble-aligned; round down.
+		under = addr.MustPrefix(under.Addr(), under.Bits()/4*4)
+	}
+	start := make([]int, under.Bits()/4)
+	for i := range start {
+		start[i] = nibbleAt(under.Addr(), i)
+	}
+	var out []addr.Addr
+	budget := func() bool {
+		return maxQueries == 0 || z.Queries < maxQueries
+	}
+	var rec func(nibbles []int)
+	rec = func(nibbles []int) {
+		if !budget() {
+			return
+		}
+		rcode, isPTR := z.Query(nibbles)
+		if rcode == NXDomain {
+			return
+		}
+		if len(nibbles) == 32 {
+			if isPTR {
+				out = append(out, addrFromNibbles(nibbles))
+			}
+			return
+		}
+		for nib := 0; nib < 16; nib++ {
+			rec(append(nibbles, nib))
+			if !budget() {
+				return
+			}
+		}
+	}
+	rec(start)
+	return out
+}
+
+func addrFromNibbles(nibbles []int) addr.Addr {
+	var a addr.Addr
+	for i, nib := range nibbles {
+		if i%2 == 0 {
+			a[i/2] |= byte(nib) << 4
+		} else {
+			a[i/2] |= byte(nib)
+		}
+	}
+	return a
+}
+
+// BuildZone populates a zone from the world at a point in time: servers
+// nearly always carry PTR records, routers usually do (operators name
+// infrastructure), CPE rarely, clients never. The per-device choice is
+// deterministic in the device seed via the world's public-seed sampling
+// when available; here we use the structural classes directly.
+func BuildZone(w *simnet.World, at time.Time) *Zone {
+	z := NewZone()
+	for _, r := range w.Routers() {
+		z.Add(r)
+	}
+	for _, d := range w.Devices() {
+		var keep bool
+		switch d.Kind {
+		case simnet.KindServer:
+			keep = true
+		case simnet.KindCPE:
+			// Dynamic-DNS households: reuse the public-seed notion.
+			keep = hasPTRBit(d)
+		}
+		if keep {
+			z.Add(d.AddressAt(at))
+		}
+	}
+	return z
+}
+
+// hasPTRBit samples a stable per-device coin for CPE PTR presence.
+func hasPTRBit(d *simnet.Device) bool {
+	// One in four CPE households runs dynamic DNS.
+	m, ok := d.MAC()
+	if ok {
+		return (uint32(m[5])+uint32(m[4]))%4 == 0
+	}
+	return d.QueryRate() != 0 && int(d.QueryRate()*100)%4 == 0
+}
+
+// SortAddrs orders addresses lexicographically; exported for tests and
+// callers comparing walk output with expectations.
+func SortAddrs(as []addr.Addr) {
+	sort.Slice(as, func(i, j int) bool {
+		for k := 0; k < 16; k++ {
+			if as[i][k] != as[j][k] {
+				return as[i][k] < as[j][k]
+			}
+		}
+		return false
+	})
+}

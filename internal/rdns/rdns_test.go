@@ -1,0 +1,186 @@
+package rdns
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hitlist6/internal/addr"
+	"hitlist6/internal/simnet"
+)
+
+func TestZoneAddQuery(t *testing.T) {
+	z := NewZone()
+	a := addr.MustParse("2001:db8::1")
+	z.Add(a)
+	z.Add(a) // idempotent
+	if z.Len() != 1 {
+		t.Fatalf("Len: %d", z.Len())
+	}
+	// Full name resolves with a PTR.
+	full := nibblesOf(a, 32)
+	rcode, ptr := z.Query(full)
+	if rcode != NoError || !ptr {
+		t.Errorf("full query: %v %v", rcode, ptr)
+	}
+	// Any ancestor is an empty non-terminal (NoError, no PTR).
+	rcode, ptr = z.Query(full[:8])
+	if rcode != NoError || ptr {
+		t.Errorf("ancestor query: %v %v", rcode, ptr)
+	}
+	// Sibling subtree is NXDOMAIN.
+	sib := append([]int(nil), full[:8]...)
+	sib[7] ^= 0x1
+	if rcode, _ := z.Query(sib); rcode != NXDomain {
+		t.Errorf("sibling query: %v", rcode)
+	}
+	// Out-of-range label.
+	if rcode, _ := z.Query([]int{99}); rcode != NXDomain {
+		t.Errorf("bad label: %v", rcode)
+	}
+}
+
+func nibblesOf(a addr.Addr, n int) []int {
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = nibbleAt(a, i)
+	}
+	return out
+}
+
+func TestWalkEnumeratesExactly(t *testing.T) {
+	z := NewZone()
+	want := []addr.Addr{
+		addr.MustParse("2001:db8::1"),
+		addr.MustParse("2001:db8::2"),
+		addr.MustParse("2001:db8:0:1::1"),
+		addr.MustParse("2001:db8:ffff::42"),
+	}
+	for _, a := range want {
+		z.Add(a)
+	}
+	// A record outside the walked prefix must not appear.
+	z.Add(addr.MustParse("2400:cb00::1"))
+
+	got := Walk(z, addr.MustParsePrefix("2001:db8::/32"), 0)
+	if len(got) != len(want) {
+		t.Fatalf("walked %d records, want %d: %v", len(got), len(want), got)
+	}
+	SortAddrs(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d: got %s want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWalkQueryCostScalesWithNames(t *testing.T) {
+	z := NewZone()
+	const names = 50
+	for i := 0; i < names; i++ {
+		z.Add(addr.FromParts(0x20010db8_00000000|uint64(i), uint64(i+1)))
+	}
+	z.Queries = 0
+	got := Walk(z, addr.MustParsePrefix("2001:db8::/32"), 0)
+	if len(got) != names {
+		t.Fatalf("walked %d", len(got))
+	}
+	// The walk must be linear-ish in names (each name costs at most
+	// 32 levels x 16 siblings), nowhere near brute force.
+	maxQ := uint64(names * 32 * 16)
+	if z.Queries > maxQ {
+		t.Errorf("queries %d exceed linear bound %d", z.Queries, maxQ)
+	}
+	if z.Queries < names {
+		t.Errorf("implausibly few queries: %d", z.Queries)
+	}
+}
+
+func TestWalkBudget(t *testing.T) {
+	z := NewZone()
+	for i := 0; i < 100; i++ {
+		z.Add(addr.FromParts(0x20010db8_00000000|uint64(i), 1))
+	}
+	z.Queries = 0
+	full := Walk(z, addr.MustParsePrefix("2001:db8::/32"), 0)
+	z.Queries = 0
+	partial := Walk(z, addr.MustParsePrefix("2001:db8::/32"), 200)
+	if len(partial) >= len(full) {
+		t.Errorf("budgeted walk should find fewer: %d vs %d", len(partial), len(full))
+	}
+	if z.Queries > 200+16 {
+		t.Errorf("budget overrun: %d", z.Queries)
+	}
+}
+
+func TestWalkEmptyZone(t *testing.T) {
+	z := NewZone()
+	if got := Walk(z, addr.MustParsePrefix("::/0"), 0); len(got) != 0 {
+		t.Errorf("empty zone walk: %v", got)
+	}
+}
+
+func TestWalkNonNibbleAlignedPrefix(t *testing.T) {
+	z := NewZone()
+	a := addr.MustParse("2001:db8::7")
+	z.Add(a)
+	// /33 rounds down to /32.
+	got := Walk(z, addr.MustParsePrefix("2001:db8::/33"), 0)
+	if len(got) != 1 || got[0] != a {
+		t.Errorf("walk: %v", got)
+	}
+}
+
+func TestWalkRoundTripProperty(t *testing.T) {
+	f := func(lo1, lo2, lo3 uint64) bool {
+		z := NewZone()
+		in := map[addr.Addr]bool{}
+		for _, lo := range []uint64{lo1, lo2, lo3} {
+			a := addr.FromParts(0x20010db8_00000000, lo)
+			z.Add(a)
+			in[a] = true
+		}
+		got := Walk(z, addr.MustParsePrefix("2001:db8::/64"), 0)
+		if len(got) != len(in) {
+			return false
+		}
+		for _, a := range got {
+			if !in[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildZoneFromWorld(t *testing.T) {
+	cfg := simnet.DefaultConfig(21, 0.05)
+	cfg.Days = 10
+	w, err := simnet.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := w.Origin.Add(24 * time.Hour)
+	z := BuildZone(w, at)
+	if z.Len() == 0 {
+		t.Fatal("empty zone")
+	}
+	// All routers must be enumerable.
+	for _, r := range w.Routers()[:5] {
+		full := nibblesOf(r, 32)
+		if rcode, ptr := z.Query(full); rcode != NoError || !ptr {
+			t.Errorf("router %s missing PTR", r)
+		}
+	}
+	// A walk over one AS's routed prefix discovers only in-prefix names.
+	routed := w.ASDB.Get(w.ASDB.ASNs()[0]).Prefixes[0]
+	found := Walk(z, routed, 0)
+	for _, a := range found {
+		if !routed.Contains(a) {
+			t.Errorf("walk escaped prefix: %s", a)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package scan
+
+import (
+	"math/rand"
+	"time"
+
+	"hitlist6/internal/addr"
+	"hitlist6/internal/simnet"
+)
+
+// BackscanConfig mirrors the paper's §3 backscanning methodology: record
+// NTP clients at a subset of vantage servers in 10-minute intervals, then
+// probe each client address once per interval plus one random address in
+// the client's /64 (the alias canary), all over ICMPv6.
+type BackscanConfig struct {
+	// Vantages are the collector server IDs participating (paper: 5 of 27).
+	Vantages []int
+	// Window is when the campaign runs.
+	Start time.Time
+	End   time.Time
+	// Interval batches clients before probing (paper: 10 minutes).
+	Interval time.Duration
+	// Seed drives random-IID target generation.
+	Seed int64
+}
+
+// DefaultBackscanConfig returns the paper's parameters over the given
+// window: 5 vantages, 10-minute batches.
+func DefaultBackscanConfig(start, end time.Time, seed int64) BackscanConfig {
+	return BackscanConfig{
+		Vantages: []int{0, 6, 8, 12, 20},
+		Start:    start,
+		End:      end,
+		Interval: 10 * time.Minute,
+		Seed:     seed,
+	}
+}
+
+// BackscanOutcome is the probe pair result for one client in one interval.
+type BackscanOutcome struct {
+	Client          addr.Addr
+	ClientResponded bool
+	ClientAliased   bool // client probe answered by an aliased prefix
+	Random          addr.Addr
+	RandomResponded bool
+	At              time.Time
+}
+
+// BackscanStats aggregates a campaign (§4.2's headline numbers).
+type BackscanStats struct {
+	ClientsProbed   int
+	ClientResponses int
+	RandomProbes    int
+	RandomResponses int
+	// AliasedPrefixes are /64s inferred aliased because a random IID
+	// answered.
+	AliasedPrefixes map[addr.Prefix64]struct{}
+	// Outcomes holds every probe pair.
+	Outcomes []BackscanOutcome
+}
+
+// ClientResponseRate returns the fraction of probed clients that answered
+// (paper: about two thirds).
+func (s *BackscanStats) ClientResponseRate() float64 {
+	if s.ClientsProbed == 0 {
+		return 0
+	}
+	return float64(s.ClientResponses) / float64(s.ClientsProbed)
+}
+
+// RandomResponseRate returns the fraction of random-IID probes answered
+// (paper: 3.5%, almost all aliases).
+func (s *BackscanStats) RandomResponseRate() float64 {
+	if s.RandomProbes == 0 {
+		return 0
+	}
+	return float64(s.RandomResponses) / float64(s.RandomProbes)
+}
+
+// Backscan replays the world's NTP queries through the configured window,
+// batches clients per interval at the participating vantages, and probes
+// back. It returns the campaign aggregate.
+//
+// Within an interval no address is probed more than once, matching the
+// paper's rate-limiting ("no IP was probed more than once during a 10
+// minute interval").
+func Backscan(w *simnet.World, pool PoolSelector, cfg BackscanConfig) *BackscanStats {
+	stats := &BackscanStats{AliasedPrefixes: make(map[addr.Prefix64]struct{})}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	participating := make(map[int]bool, len(cfg.Vantages))
+	for _, v := range cfg.Vantages {
+		participating[v] = true
+	}
+
+	// Batch clients into intervals.
+	type batchKey int64
+	batches := make(map[batchKey]map[addr.Addr]time.Time)
+	w.GenerateQueries(func(q simnet.Query) {
+		if q.Time.Before(cfg.Start) || !q.Time.Before(cfg.End) {
+			return
+		}
+		if pool != nil {
+			v := pool.Select(w.Geo.Country(q.Addr))
+			if !participating[v] {
+				return
+			}
+		}
+		k := batchKey(q.Time.Sub(cfg.Start) / cfg.Interval)
+		b, ok := batches[k]
+		if !ok {
+			b = make(map[addr.Addr]time.Time)
+			batches[k] = b
+		}
+		if _, seen := b[q.Addr]; !seen {
+			b[q.Addr] = q.Time
+		}
+	})
+
+	// Probe each batch at its interval end, in batch order.
+	maxK := batchKey(cfg.End.Sub(cfg.Start) / cfg.Interval)
+	for k := batchKey(0); k <= maxK; k++ {
+		b, ok := batches[k]
+		if !ok {
+			continue
+		}
+		probeAt := cfg.Start.Add(time.Duration(k+1) * cfg.Interval)
+		for client := range b {
+			res := w.Probe(client, probeAt)
+			outcome := BackscanOutcome{
+				Client:          client,
+				ClientResponded: res.Responded,
+				ClientAliased:   res.FromAlias,
+				At:              probeAt,
+			}
+			stats.ClientsProbed++
+			if res.Responded {
+				stats.ClientResponses++
+			}
+			// The alias canary: a random IID in the same /64.
+			randAddr := addr.FromParts(uint64(client.P64()), rng.Uint64())
+			if randAddr != client {
+				rres := w.Probe(randAddr, probeAt)
+				outcome.Random = randAddr
+				outcome.RandomResponded = rres.Responded
+				stats.RandomProbes++
+				if rres.Responded {
+					stats.RandomResponses++
+					stats.AliasedPrefixes[randAddr.P64()] = struct{}{}
+				}
+			}
+			stats.Outcomes = append(stats.Outcomes, outcome)
+		}
+	}
+	return stats
+}
+
+// PoolSelector abstracts the NTP pool's geo selection so scan does not
+// import ntppool (which imports collector).
+type PoolSelector interface {
+	// Select returns the vantage server ID for a client country.
+	Select(country string) int
+}
+
+// DetectAlias probes n random IIDs within a /64 and infers aliasing when
+// at least threshold respond — the standard alias-resolution pre-filter
+// active campaigns run (§2.1, §4.2).
+func DetectAlias(w *simnet.World, p addr.Prefix64, t time.Time, n, threshold int, seed int64) bool {
+	if n <= 0 {
+		return false
+	}
+	if threshold <= 0 {
+		threshold = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hits := 0
+	for i := 0; i < n; i++ {
+		probe := addr.FromParts(uint64(p), rng.Uint64())
+		if w.Probe(probe, t).Responded {
+			hits++
+			if hits >= threshold {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,330 @@
+package scan
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hitlist6/internal/addr"
+	"hitlist6/internal/simnet"
+)
+
+func TestIsPrimeKnownValues(t *testing.T) {
+	primes := []uint64{2, 3, 5, 7, 11, 13, 101, 7919, 104729, 2147483647, 1000000007}
+	for _, p := range primes {
+		if !isPrime(p) {
+			t.Errorf("isPrime(%d) = false", p)
+		}
+	}
+	composites := []uint64{0, 1, 4, 9, 15, 100, 7917, 104730, 2147483647 * 3}
+	for _, c := range composites {
+		if isPrime(c) {
+			t.Errorf("isPrime(%d) = true", c)
+		}
+	}
+	// Strong pseudoprime to base 2: must be rejected by the full base set.
+	if isPrime(3215031751) {
+		t.Error("3215031751 is composite")
+	}
+}
+
+func TestNextSafePrime(t *testing.T) {
+	p, err := nextSafePrime(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 11 { // 11 = 2*5+1, both prime
+		t.Errorf("nextSafePrime(10): got %d want 11", p)
+	}
+	p, err = nextSafePrime(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 107 {
+		t.Errorf("nextSafePrime(100): got %d want 107", p)
+	}
+	if !isPrime(p) || !isPrime((p-1)/2) {
+		t.Errorf("%d is not a safe prime", p)
+	}
+}
+
+func TestPermutationVisitsAllExactlyOnce(t *testing.T) {
+	for _, n := range []uint64{1, 2, 5, 16, 100, 1000, 4097} {
+		pm, err := NewPermutation(n, 0xfeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[uint64]bool, n)
+		for {
+			v, ok := pm.Next()
+			if !ok {
+				break
+			}
+			if v >= n {
+				t.Fatalf("n=%d: out of range value %d", n, v)
+			}
+			if seen[v] {
+				t.Fatalf("n=%d: value %d repeated", n, v)
+			}
+			seen[v] = true
+		}
+		if uint64(len(seen)) != n {
+			t.Fatalf("n=%d: visited %d values", n, len(seen))
+		}
+	}
+}
+
+func TestPermutationSeedsDiffer(t *testing.T) {
+	order := func(seed uint64) []uint64 {
+		pm, err := NewPermutation(64, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []uint64
+		for {
+			v, ok := pm.Next()
+			if !ok {
+				break
+			}
+			out = append(out, v)
+		}
+		return out
+	}
+	a, b := order(1), order(99)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical orders")
+	}
+}
+
+func TestPermutationReset(t *testing.T) {
+	pm, err := NewPermutation(10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []uint64
+	for {
+		v, ok := pm.Next()
+		if !ok {
+			break
+		}
+		first = append(first, v)
+	}
+	pm.Reset()
+	for i := 0; ; i++ {
+		v, ok := pm.Next()
+		if !ok {
+			break
+		}
+		if v != first[i] {
+			t.Fatalf("reset replay diverged at %d", i)
+		}
+	}
+}
+
+func TestPermutationErrors(t *testing.T) {
+	if _, err := NewPermutation(0, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+// mulmodSlow is an overflow-safe double-and-add reference for mulmod.
+// addMod computes (x+y) mod m without overflow for x, y < m.
+func addMod(x, y, m uint64) uint64 {
+	if x >= m-y {
+		return x - (m - y)
+	}
+	return x + y
+}
+
+func mulmodSlow(a, b, m uint64) uint64 {
+	var r uint64
+	a %= m
+	b %= m
+	for b > 0 {
+		if b&1 == 1 {
+			r = addMod(r, a, m)
+		}
+		a = addMod(a, a, m)
+		b >>= 1
+	}
+	return r
+}
+
+func TestMulmodMatchesAdditiveLadder(t *testing.T) {
+	f := func(a, b uint64, mRaw uint64) bool {
+		m := mRaw
+		if m < 2 {
+			m = 2
+		}
+		return mulmod(a, b, m) == mulmodSlow(a, b, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func tinyWorld(t testing.TB, seed int64) *simnet.World {
+	t.Helper()
+	cfg := simnet.DefaultConfig(seed, 0.03)
+	cfg.Days = 20
+	w, err := simnet.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestZMap6ScanRouters(t *testing.T) {
+	w := tinyWorld(t, 31)
+	z := &ZMap6{World: w, Seed: 5}
+	tm := w.Origin.Add(time.Hour)
+	routers := w.Routers()
+	res, err := z.Scan(routers, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(routers) {
+		t.Fatalf("results: %d want %d", len(res), len(routers))
+	}
+	resp := Responsive(res)
+	if len(resp) != len(routers) {
+		t.Errorf("responsive routers: %d/%d", len(resp), len(routers))
+	}
+	if z.Sent != uint64(len(routers)) || z.Received != uint64(len(routers)) {
+		t.Errorf("stats: sent=%d received=%d", z.Sent, z.Received)
+	}
+}
+
+func TestZMap6EmptyTargets(t *testing.T) {
+	w := tinyWorld(t, 32)
+	z := &ZMap6{World: w}
+	res, err := z.Scan(nil, w.Origin)
+	if err != nil || res != nil {
+		t.Errorf("empty scan: %v, %v", res, err)
+	}
+}
+
+func TestYarrpDiscoversInfrastructure(t *testing.T) {
+	w := tinyWorld(t, 33)
+	y := &Yarrp{World: w, SourceASN: 21928, Seed: 9}
+	tm := w.Origin.Add(time.Hour)
+
+	// Trace to the ::1 of some customer /48s (CAIDA style).
+	var targets []addr.Addr
+	for _, d := range w.Devices() {
+		if len(targets) >= 50 {
+			break
+		}
+		targets = append(targets, d.Prefix64At(tm).Addr().WithIID(1))
+	}
+	traces, err := y.Trace(targets, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != len(targets) {
+		t.Fatalf("traces: %d", len(traces))
+	}
+	disc := DiscoveredAddrs(traces)
+	if len(disc) == 0 {
+		t.Fatal("no addresses discovered")
+	}
+	// Discovered hop addresses must be dominated by low-entropy router
+	// IIDs (Figure 1's CAIDA curve).
+	low := 0
+	for a := range disc {
+		if a.IID().EntropyClass() == addr.LowEntropy {
+			low++
+		}
+	}
+	if low*2 < len(disc) {
+		t.Errorf("only %d/%d discovered addresses are low entropy", low, len(disc))
+	}
+	if y.Traces != uint64(len(targets)) {
+		t.Errorf("trace counter: %d", y.Traces)
+	}
+}
+
+func TestDetectAlias(t *testing.T) {
+	w := tinyWorld(t, 34)
+	tm := w.Origin.Add(time.Hour)
+	aliased := w.AliasedPrefixes()
+	if len(aliased) == 0 {
+		t.Fatal("no aliased prefixes")
+	}
+	if !DetectAlias(w, aliased[0], tm, 16, 16, 1) {
+		t.Error("aliased prefix not detected")
+	}
+	// A regular customer /64 must not be flagged.
+	var normal addr.Prefix64
+	for _, d := range w.Devices() {
+		if !w.IsAliased(d.Prefix64At(tm)) {
+			normal = d.Prefix64At(tm)
+			break
+		}
+	}
+	if DetectAlias(w, normal, tm, 16, 2, 1) {
+		t.Error("normal prefix flagged aliased")
+	}
+	if DetectAlias(w, aliased[0], tm, 0, 0, 1) {
+		t.Error("n=0 should never detect")
+	}
+}
+
+type fixedSelector struct{ id int }
+
+func (f fixedSelector) Select(string) int { return f.id }
+
+func TestBackscan(t *testing.T) {
+	w := tinyWorld(t, 35)
+	start := w.Origin.Add(5 * 24 * time.Hour)
+	end := start.Add(24 * time.Hour)
+	cfg := DefaultBackscanConfig(start, end, 77)
+	// Route every query to vantage 0 so the campaign sees all clients.
+	stats := Backscan(w, fixedSelector{0}, cfg)
+
+	if stats.ClientsProbed == 0 {
+		t.Fatal("no clients probed")
+	}
+	rate := stats.ClientResponseRate()
+	if rate <= 0.3 || rate >= 0.95 {
+		t.Errorf("client response rate %.2f outside plausible band", rate)
+	}
+	rr := stats.RandomResponseRate()
+	if rr < 0 || rr > 0.3 {
+		t.Errorf("random response rate %.3f implausible", rr)
+	}
+	// Every inferred aliased prefix must be ground-truth aliased.
+	for p := range stats.AliasedPrefixes {
+		if !w.IsAliased(p) {
+			t.Errorf("false alias inference for %s", p)
+		}
+	}
+	// Random hits imply alias inference.
+	if stats.RandomResponses != 0 && len(stats.AliasedPrefixes) == 0 {
+		t.Error("random responses but no aliased prefixes recorded")
+	}
+}
+
+func TestBackscanVantageFiltering(t *testing.T) {
+	w := tinyWorld(t, 36)
+	start := w.Origin.Add(5 * 24 * time.Hour)
+	end := start.Add(12 * time.Hour)
+	cfg := DefaultBackscanConfig(start, end, 1)
+	all := Backscan(w, fixedSelector{0}, cfg)  // vantage 0 participates
+	none := Backscan(w, fixedSelector{1}, cfg) // vantage 1 does not... it does (in list)
+	_ = none
+	off := Backscan(w, fixedSelector{3}, cfg) // vantage 3 not in the list
+	if all.ClientsProbed == 0 {
+		t.Fatal("participating vantage saw nothing")
+	}
+	if off.ClientsProbed != 0 {
+		t.Errorf("non-participating vantage probed %d clients", off.ClientsProbed)
+	}
+}

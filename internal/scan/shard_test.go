@@ -1,0 +1,138 @@
+package scan
+
+import (
+	"testing"
+)
+
+func collectShard(t *testing.T, s *Shard) []uint64 {
+	t.Helper()
+	var out []uint64
+	for {
+		v, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+func TestShardsPartitionDomain(t *testing.T) {
+	for _, tc := range []struct {
+		n      uint64
+		shards uint64
+	}{
+		{100, 1}, {100, 3}, {1000, 7}, {4096, 4}, {17, 16},
+	} {
+		pm, err := NewPermutation(tc.n, 0xabc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[uint64]int, tc.n)
+		for i := uint64(0); i < tc.shards; i++ {
+			sh, err := pm.Shard(i, tc.shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range collectShard(t, sh) {
+				if v >= tc.n {
+					t.Fatalf("n=%d shards=%d: out of range %d", tc.n, tc.shards, v)
+				}
+				seen[v]++
+			}
+		}
+		if uint64(len(seen)) != tc.n {
+			t.Fatalf("n=%d shards=%d: covered %d values", tc.n, tc.shards, len(seen))
+		}
+		for v, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d shards=%d: value %d visited %d times", tc.n, tc.shards, v, c)
+			}
+		}
+	}
+}
+
+func TestShardMatchesFullIteration(t *testing.T) {
+	// A single shard (0 of 1) must reproduce the full permutation order.
+	pm, err := NewPermutation(500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full []uint64
+	for {
+		v, ok := pm.Next()
+		if !ok {
+			break
+		}
+		full = append(full, v)
+	}
+	pm.Reset()
+	sh, err := pm.Shard(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectShard(t, sh)
+	if len(got) != len(full) {
+		t.Fatalf("lengths: %d vs %d", len(got), len(full))
+	}
+	for i := range full {
+		if got[i] != full[i] {
+			t.Fatalf("order diverges at %d", i)
+		}
+	}
+}
+
+func TestShardInterleaving(t *testing.T) {
+	// Shard i's k-th cycle position is the (i + k*n)-th of the full cycle;
+	// verify against the in-range subsequence.
+	pm, err := NewPermutation(64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh0, err := pm.Shard(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh1, err := pm.Shard(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := collectShard(t, sh0)
+	b := collectShard(t, sh1)
+	if len(a)+len(b) != 64 {
+		t.Fatalf("coverage: %d + %d", len(a), len(b))
+	}
+}
+
+func TestShardErrors(t *testing.T) {
+	pm, err := NewPermutation(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pm.Shard(0, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := pm.Shard(5, 5); err == nil {
+		t.Error("i >= n should fail")
+	}
+}
+
+func TestShardSingletonDomain(t *testing.T) {
+	pm, err := NewPermutation(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := pm.Shard(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collectShard(t, s0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("shard 0: %v", got)
+	}
+	s1, err := pm.Shard(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collectShard(t, s1); len(got) != 0 {
+		t.Errorf("shard 1 of singleton: %v", got)
+	}
+}

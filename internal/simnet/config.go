@@ -1,0 +1,274 @@
+package simnet
+
+import (
+	"time"
+
+	"hitlist6/internal/asdb"
+)
+
+// ASConfig describes one Autonomous System of the simulated Internet.
+type ASConfig struct {
+	ASN     asdb.ASN
+	Name    string
+	Country string
+	Type    asdb.ASType
+
+	// RoutedBits is the length of the AS's single routed prefix
+	// (36–44 are sensible; shorter prefixes explode the CAIDA-style
+	// routed-/48 probe count). The prefix itself is assigned by the world
+	// builder from a disjoint allocation plan.
+	RoutedBits int
+
+	// DelegationBits is the size of customer delegations: 56 for
+	// residential ISPs (a /56 with 256 /64 subnets) or 64 for mobile
+	// carriers (one /64 per subscriber).
+	DelegationBits int
+
+	// RotationInterval is how often the provider renumbers customer
+	// delegations (0 = static). §2.1: some providers rotate every 24h.
+	RotationInterval time.Duration
+
+	// Sites is the number of customer sites (before the global scale
+	// multiplier).
+	Sites int
+
+	// DevicesPerSite bounds the number of client devices per site
+	// (uniform in [Min, Max]).
+	DevicesPerSiteMin, DevicesPerSiteMax int
+
+	// ClientMix is the IID strategy distribution for client devices.
+	ClientMix StrategyMix
+
+	// CPEStrategy is the WAN-side IID strategy for the site's CPE.
+	// ISPs that ship AVM Fritz!Box CPE use StratEUI64 (§5.3).
+	CPEStrategy IIDStrategy
+	// CPEVendor, when non-empty, forces the CPE MAC vendor (e.g. "AVM
+	// GmbH" for German ISPs).
+	CPEVendor string
+
+	// FirewallProb is the probability a client device sits behind a
+	// stateful firewall and ignores unsolicited probes.
+	FirewallProb float64
+
+	// Routers is the number of low-byte-addressed infrastructure routers
+	// in the AS's infra /48.
+	Routers int
+
+	// AliasedPrefixes is the number of aliased /64s (every address
+	// responds) carved out of the AS's alias /48. Typical for hosting.
+	AliasedPrefixes int
+
+	// AliasedSites is the number of customer sites placed *inside*
+	// aliased /64s (§4.2 finds 3.8M NTP clients in aliased prefixes).
+	AliasedSites int
+
+	// MobileFraction is the fraction of phones that roam between this AS
+	// (their home WiFi) and a cellular carrier.
+	MobileFraction float64
+
+	// ProviderChurn is the fraction of sites that switch to another
+	// provider mid-study (§5.2 "changing providers", Fig 7c).
+	ProviderChurn float64
+
+	// QueryRatePerDay is the mean NTP query rate per client device; the
+	// effective per-device rate varies around it by device kind.
+	QueryRatePerDay float64
+
+	// Outages lists scheduled connectivity losses for the whole AS:
+	// during an outage no device in the AS sends NTP queries or answers
+	// probes. Used by the outage-detection application (§1 lists outage
+	// detection among the benefits of hitlists).
+	Outages []OutageWindow
+}
+
+// OutageWindow is one scheduled AS-wide connectivity loss.
+type OutageWindow struct {
+	// StartDay is the study day the outage begins (0-based).
+	StartDay int
+	// Hours is the outage duration.
+	Hours int
+}
+
+// Config describes a whole simulated Internet plus the study window.
+type Config struct {
+	// Seed drives all randomness; one seed reproduces one Internet.
+	Seed int64
+	// Start is the study origin (paper: 25 January 2022).
+	Start time.Time
+	// Days is the study length in days (paper: ~218).
+	Days int
+	// Scale multiplies every ASConfig.Sites; 1.0 is the default study
+	// size, tests use much smaller values.
+	Scale float64
+	// ASes lists the Autonomous Systems to build.
+	ASes []ASConfig
+	// SyntheticVendors is passed to the OUI registry.
+	SyntheticVendors int
+	// MACReuseGroups creates groups of devices in distinct ASes sharing
+	// one MAC address (§5.2 "likely MAC reuse", Fig 7b).
+	MACReuseGroups int
+	// MACReuseSize is how many devices share each reused MAC.
+	MACReuseSize int
+	// IIDLifetime is the privacy-address regeneration interval.
+	IIDLifetime time.Duration
+	// RoamInterval is how often roaming phones re-decide their location.
+	RoamInterval time.Duration
+}
+
+// clientMixMobile reflects modern handset OSes: overwhelmingly RFC 4941
+// privacy addresses, a little EUI-64 from old builds.
+func clientMixMobile() StrategyMix {
+	var m StrategyMix
+	m[StratPrivacy] = 0.90
+	m[StratStableRandom] = 0.05
+	m[StratEUI64] = 0.03
+	m[StratDHCPCounter] = 0.02
+	return m
+}
+
+// clientMixResidential reflects home LANs: privacy addresses for phones
+// and laptops, a noticeable EUI-64 share from IoT and smart-home gear.
+func clientMixResidential() StrategyMix {
+	var m StrategyMix
+	m[StratPrivacy] = 0.72
+	m[StratStableRandom] = 0.12
+	m[StratEUI64] = 0.10
+	m[StratDHCPCounter] = 0.05
+	m[StratV4Embedded] = 0.01
+	return m
+}
+
+// clientMixJio is the bimodal Reliance Jio pattern §4.3 reports: most
+// devices fully random, about a third randomizing only the low 4 bytes.
+func clientMixJio() StrategyMix {
+	var m StrategyMix
+	m[StratPrivacy] = 0.60
+	m[StratRandomLow4] = 0.33
+	m[StratEUI64] = 0.04
+	m[StratStableRandom] = 0.03
+	return m
+}
+
+// clientMixHosting reflects servers: stable, memorable, or v4-derived.
+func clientMixHosting() StrategyMix {
+	var m StrategyMix
+	m[StratLowByte] = 0.35
+	m[StratLow2Bytes] = 0.15
+	m[StratV4Embedded] = 0.15
+	m[StratStableRandom] = 0.25
+	m[StratDHCPCounter] = 0.10
+	return m
+}
+
+// DefaultInternet builds the default AS roster. It names the ASes the
+// paper's Figure 4 and Figure 7 discuss (T-Mobile, Reliance Jio, Chinanet,
+// China Mobile, Telekomunikasi Selular, Bharti Airtel, Comcast, China
+// Unicom, Telefonica Brasil, Nova Santos Telecom, German AVM-heavy ISPs)
+// plus hosting and synthetic filler ASes. Countries follow the paper's
+// top-5 (IN, CN, US, BR, ID).
+func DefaultInternet() []ASConfig {
+	mobile := func(asn asdb.ASN, name, cc string, sites int, rate float64) ASConfig {
+		return ASConfig{
+			ASN: asn, Name: name, Country: cc, Type: asdb.TypePhoneProvider,
+			RoutedBits: 40, DelegationBits: 64,
+			RotationInterval: 36 * time.Hour,
+			Sites:            sites, DevicesPerSiteMin: 1, DevicesPerSiteMax: 1,
+			ClientMix: clientMixMobile(), CPEStrategy: StratStableRandom,
+			FirewallProb: 0.30, Routers: 10, QueryRatePerDay: rate,
+		}
+	}
+	residential := func(asn asdb.ASN, name, cc string, sites int) ASConfig {
+		return ASConfig{
+			ASN: asn, Name: name, Country: cc, Type: asdb.TypeISP,
+			RoutedBits: 40, DelegationBits: 56,
+			RotationInterval: 30 * 24 * time.Hour,
+			Sites:            sites, DevicesPerSiteMin: 1, DevicesPerSiteMax: 5,
+			ClientMix: clientMixResidential(), CPEStrategy: StratStableRandom,
+			FirewallProb: 0.40, Routers: 12, MobileFraction: 0.35,
+			ProviderChurn: 0.02, QueryRatePerDay: 1.6,
+		}
+	}
+
+	jio := mobile(55836, "Reliance Jio", "IN", 800, 1.2)
+	jio.ClientMix = clientMixJio()
+	airtel := mobile(45609, "Bharti Airtel", "IN", 450, 1.1)
+	chinanet := residential(4134, "Chinanet", "CN", 180)
+	chinanet.QueryRatePerDay = 2.0
+	chinaMobile := mobile(9808, "China Mobile", "CN", 700, 1.3)
+	unicom := residential(4837, "China Unicom", "CN", 110)
+	tmobile := mobile(21928, "T-Mobile", "US", 750, 1.5)
+	telsel := mobile(23693, "Telekomunikasi Selular", "ID", 600, 1.0)
+	telsel.ClientMix[StratRandomLow4] = 0.22 // §4.3: lower-entropy subpopulation
+	telsel.ClientMix[StratPrivacy] = 0.68
+	comcast := residential(7922, "Comcast", "US", 150)
+	telefonicaBR := residential(27699, "Telefonica Brasil", "BR", 120)
+	telefonicaBR.ProviderChurn = 0.10
+	novaSantos := residential(268424, "Nova Santos Telecom", "BR", 40)
+	dtag := residential(3320, "Deutsche Telekom", "DE", 130)
+	dtag.CPEStrategy = StratEUI64
+	dtag.CPEVendor = "AVM GmbH"
+	dtag.RotationInterval = 24 * time.Hour // German ISPs renumber daily
+	vodafoneDE := residential(3209, "Vodafone Germany", "DE", 80)
+	vodafoneDE.CPEStrategy = StratEUI64
+	vodafoneDE.CPEVendor = "AVM GmbH"
+	telmex := residential(8151, "Uninet (Telmex)", "MX", 60)
+	telmex.CPEStrategy = StratEUI64
+	orangeFR := residential(3215, "Orange France", "FR", 55)
+	orangeFR.CPEStrategy = StratEUI64
+	postLU := residential(6661, "POST Luxembourg", "LU", 20)
+	postLU.CPEStrategy = StratEUI64
+
+	hosting := func(asn asdb.ASN, name, cc string, sites, aliased, aliasedSites int) ASConfig {
+		return ASConfig{
+			ASN: asn, Name: name, Country: cc, Type: asdb.TypeHosting,
+			RoutedBits: 40, DelegationBits: 56,
+			Sites: sites, DevicesPerSiteMin: 1, DevicesPerSiteMax: 3,
+			ClientMix: clientMixHosting(), CPEStrategy: StratLowByte,
+			FirewallProb: 0.10, Routers: 8,
+			AliasedPrefixes: aliased, AliasedSites: aliasedSites,
+			QueryRatePerDay: 2.5,
+		}
+	}
+	hetzner := hosting(24940, "Hetzner Online", "DE", 70, 40, 14)
+	ovh := hosting(16276, "OVH", "FR", 60, 30, 11)
+	linode := hosting(63949, "Linode", "US", 45, 22, 8)
+
+	out := []ASConfig{
+		jio, airtel, chinanet, chinaMobile, unicom, tmobile, telsel,
+		comcast, telefonicaBR, novaSantos, dtag, vodafoneDE, telmex,
+		orangeFR, postLU, hetzner, ovh, linode,
+	}
+
+	// Synthetic filler eyeball ISPs across many countries so the dataset
+	// spans the paper's long tail of 175 countries.
+	countries := []string{
+		"JP", "KR", "AU", "BH", "BG", "HK", "NL", "PL", "SG", "ZA", "ES",
+		"SE", "TW", "GB", "VN", "TH", "MY", "PH", "EG", "NG", "AR", "CL",
+		"CO", "TR", "IT", "CZ", "RO", "UA", "CA",
+	}
+	for i, cc := range countries {
+		as := residential(asdb.ASN(64512+i), "Synthetic ISP "+cc, cc, 25)
+		if i%3 == 0 {
+			as = mobile(asdb.ASN(64512+i), "Synthetic Mobile "+cc, cc, 25, 1.0)
+		}
+		out = append(out, as)
+	}
+	return out
+}
+
+// DefaultConfig is the study-sized configuration: the default Internet at
+// the given scale over the paper's observation window.
+func DefaultConfig(seed int64, scale float64) Config {
+	return Config{
+		Seed:             seed,
+		Start:            time.Date(2022, 1, 25, 0, 0, 0, 0, time.UTC),
+		Days:             218, // 25 Jan – 31 Aug 2022
+		Scale:            scale,
+		ASes:             DefaultInternet(),
+		SyntheticVendors: 40,
+		MACReuseGroups:   3,
+		MACReuseSize:     28,
+		IIDLifetime:      12 * time.Hour,
+		RoamInterval:     8 * time.Hour,
+	}
+}

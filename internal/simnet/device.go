@@ -1,0 +1,140 @@
+package simnet
+
+import (
+	"time"
+
+	"hitlist6/internal/addr"
+)
+
+// Device is one host in the simulated Internet. Its address at any time
+// is a pure function of its seed and the world's schedule parameters.
+type Device struct {
+	seed     uint64
+	world    *World
+	Kind     DeviceKind
+	Strategy IIDStrategy
+
+	// mac is set for EUI-64 devices (and any device the builder gives a
+	// MAC, e.g. AVM CPE).
+	mac    addr.MAC
+	hasMAC bool
+	reused bool // MAC shared across devices (MAC-reuse group)
+
+	site     *Site // home attachment
+	cellSite *Site // cellular attachment for roaming phones
+	roamSalt uint64
+
+	subnet     byte
+	firewalled bool
+	// usesPool is whether the device's OS points at pool.ntp.org at all:
+	// Windows, Apple and post-Oreo Android devices use vendor time
+	// servers instead (§2.3), so they exist, respond to scans, and appear
+	// in DNS — but never in the passive corpus.
+	usesPool bool
+	rate     float64 // mean NTP queries per day
+	v4       uint32  // for StratV4Embedded
+	dhcpIdx  uint16  // for StratDHCPCounter
+
+	activeFrom, activeTo time.Time
+}
+
+// MAC returns the device MAC address and whether it has one.
+func (d *Device) MAC() (addr.MAC, bool) { return d.mac, d.hasMAC }
+
+func (d *Device) setMAC(m addr.MAC) { d.mac, d.hasMAC = m, true }
+
+// HomeSite returns the device's home attachment.
+func (d *Device) HomeSite() *Site { return d.site }
+
+// Roams reports whether the device splits time between home WiFi and a
+// cellular carrier.
+func (d *Device) Roams() bool { return d.cellSite != nil }
+
+// Firewalled reports whether the device drops unsolicited probes.
+func (d *Device) Firewalled() bool { return d.firewalled }
+
+// QueryRate returns the device's mean NTP queries/day.
+func (d *Device) QueryRate() float64 { return d.rate }
+
+// UsesPool reports whether the device synchronizes against the NTP Pool
+// (as opposed to a vendor time service).
+func (d *Device) UsesPool() bool { return d.usesPool }
+
+// ActiveWindow returns the interval during which the device is powered on.
+func (d *Device) ActiveWindow() (from, to time.Time) {
+	return d.activeFrom, d.activeTo
+}
+
+// ActiveAt reports whether the device is powered on and connected at t:
+// inside its activity window and not cut off by an AS-wide outage.
+func (d *Device) ActiveAt(t time.Time) bool {
+	if t.Before(d.activeFrom) || t.After(d.activeTo) {
+		return false
+	}
+	n, _ := d.SiteAt(t).asAt(t)
+	return !n.downAt(t)
+}
+
+// SiteAt returns the site the device is attached to at time t: roaming
+// phones alternate between home and cellular on the world's RoamInterval.
+func (d *Device) SiteAt(t time.Time) *Site {
+	if d.cellSite == nil {
+		return d.site
+	}
+	e := epochOf(t, d.world.Origin, d.world.cfg.RoamInterval)
+	// Roughly half the roam epochs are spent on cellular.
+	if hash3(d.seed^d.roamSalt, e, 0x40a3)&1 == 1 {
+		return d.cellSite
+	}
+	return d.site
+}
+
+// Prefix64At returns the /64 the device sits in at time t.
+func (d *Device) Prefix64At(t time.Time) addr.Prefix64 {
+	site := d.SiteAt(t)
+	sub := d.subnet
+	if site != d.site {
+		sub = 0 // cellular /64 delegations have a single subnet
+	}
+	return site.Subnet64(t, d.world.Origin, sub)
+}
+
+// IIDAt returns the device's Interface Identifier at time t within the
+// /64 it occupies then. Stable strategies ignore t; RFC 7217-style stable
+// random IIDs depend on the prefix; privacy addresses depend on the IID
+// epoch.
+func (d *Device) IIDAt(t time.Time, p64 addr.Prefix64) addr.IID {
+	switch d.Strategy {
+	case StratPrivacy:
+		e := epochOf(t, d.world.Origin, d.world.cfg.IIDLifetime)
+		return addr.IID(hash3(d.seed, e, 0x9f1d))
+	case StratStableRandom:
+		return addr.IID(hash3(d.seed, uint64(p64), 0x57ab))
+	case StratEUI64:
+		return addr.EUI64FromMAC(d.mac)
+	case StratLowByte:
+		return addr.IID(1 + d.seed%250)
+	case StratLow2Bytes:
+		return addr.IID(0x100 + d.seed%0xfe00)
+	case StratDHCPCounter:
+		return addr.IID(uint64(d.dhcpIdx))
+	case StratV4Embedded:
+		return addr.IID(uint64(d.v4))
+	case StratRandomLow4:
+		e := epochOf(t, d.world.Origin, d.world.cfg.IIDLifetime)
+		return addr.IID(hash3(d.seed, e, 0x1074) & 0xffffffff)
+	default:
+		return addr.IID(hash3(d.seed, 0, 0))
+	}
+}
+
+// AddressAt returns the device's full IPv6 address at time t.
+func (d *Device) AddressAt(t time.Time) addr.Addr {
+	p64 := d.Prefix64At(t)
+	return addr.FromParts(uint64(p64), uint64(d.IIDAt(t, p64)))
+}
+
+// ASNAt returns the origin ASN of the device's address at time t.
+func (d *Device) ASNAt(t time.Time) uint32 {
+	return d.SiteAt(t).ASNAt(t)
+}

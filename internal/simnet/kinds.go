@@ -1,0 +1,116 @@
+package simnet
+
+// DeviceKind is the coarse device class; it drives NTP query rates,
+// responsiveness, and which IID strategies are plausible.
+type DeviceKind uint8
+
+const (
+	// KindPhone is a mobile handset: high churn, mobile between ASes.
+	KindPhone DeviceKind = iota
+	// KindComputer is a desktop/laptop behind a CPE.
+	KindComputer
+	// KindIoT is a smart-home/IoT device: always on, frequently EUI-64.
+	KindIoT
+	// KindServer is a host with a stable address, often in hosting ASes.
+	KindServer
+	// KindCPE is customer premises equipment (home router WAN side).
+	KindCPE
+	// KindRouter is core/edge infrastructure.
+	KindRouter
+	// NumDeviceKinds counts the kinds.
+	NumDeviceKinds
+)
+
+// String names the kind.
+func (k DeviceKind) String() string {
+	switch k {
+	case KindPhone:
+		return "phone"
+	case KindComputer:
+		return "computer"
+	case KindIoT:
+		return "iot"
+	case KindServer:
+		return "server"
+	case KindCPE:
+		return "cpe"
+	case KindRouter:
+		return "router"
+	default:
+		return "unknown"
+	}
+}
+
+// IIDStrategy is how a device forms the low 64 bits of its address.
+type IIDStrategy uint8
+
+const (
+	// StratPrivacy is RFC 4941 ephemeral fully random IIDs, regenerated
+	// every IIDLifetime.
+	StratPrivacy IIDStrategy = iota
+	// StratStableRandom is RFC 7217-style random but stable per prefix.
+	StratStableRandom
+	// StratEUI64 embeds the interface MAC (the paper's privacy villain).
+	StratEUI64
+	// StratLowByte is operator-style ::1, ::2 addresses.
+	StratLowByte
+	// StratLow2Bytes sets only the low two bytes.
+	StratLow2Bytes
+	// StratDHCPCounter is DHCPv6 sequential assignment (low entropy,
+	// small values, not single-byte).
+	StratDHCPCounter
+	// StratV4Embedded embeds the interface's IPv4 address in the IID.
+	StratV4Embedded
+	// StratRandomLow4 randomizes only the low four bytes, zeroing the top
+	// four — the Reliance Jio pattern called out in §4.3.
+	StratRandomLow4
+	// NumIIDStrategies counts the strategies.
+	NumIIDStrategies
+)
+
+// String names the strategy.
+func (s IIDStrategy) String() string {
+	switch s {
+	case StratPrivacy:
+		return "privacy"
+	case StratStableRandom:
+		return "stable-random"
+	case StratEUI64:
+		return "eui64"
+	case StratLowByte:
+		return "low-byte"
+	case StratLow2Bytes:
+		return "low-2-bytes"
+	case StratDHCPCounter:
+		return "dhcpv6-counter"
+	case StratV4Embedded:
+		return "v4-embedded"
+	case StratRandomLow4:
+		return "random-low4"
+	default:
+		return "unknown"
+	}
+}
+
+// StrategyMix is a weighted distribution over IID strategies; weights need
+// not sum to 1 (they are normalized when sampled).
+type StrategyMix [NumIIDStrategies]float64
+
+// pick samples a strategy from the mix using hash h.
+func (m StrategyMix) pick(h uint64) IIDStrategy {
+	var total float64
+	for _, w := range m {
+		total += w
+	}
+	if total <= 0 {
+		return StratPrivacy
+	}
+	x := unit(h) * total
+	for i, w := range m {
+		if x < w {
+			return IIDStrategy(i)
+		}
+		x -= w
+	}
+	return StratPrivacy
+}

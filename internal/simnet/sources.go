@@ -1,0 +1,46 @@
+package simnet
+
+import (
+	"sort"
+	"time"
+
+	"hitlist6/internal/addr"
+)
+
+// PublicSeeds models the public data sources real hitlist pipelines
+// bootstrap from (DNS AAAA zones, certificate transparency, public domain
+// lists): the stable, publicly-named subset of the Internet as of time t.
+// That is servers (which carry DNS names), a fraction of CPE (dynamic-DNS
+// users), and a sliver of always-on computers.
+//
+// The sample is deterministic per device, so repeated snapshot rounds see
+// consistent "public knowledge" — exactly how a weekly hitlist behaves.
+func (w *World) PublicSeeds(t time.Time) []addr.Addr {
+	var out []addr.Addr
+	for _, d := range w.devices {
+		var p float64
+		switch d.Kind {
+		case KindServer:
+			p = 0.9 // nearly all servers have AAAA records
+		case KindCPE:
+			p = 0.45 // dynamic-DNS households
+		case KindComputer:
+			p = 0.06
+		default:
+			continue
+		}
+		if unit(hash2(d.seed, 0xd05)) >= p {
+			continue
+		}
+		out = append(out, d.AddressAt(t))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := 0; k < 16; k++ {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}

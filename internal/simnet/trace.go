@@ -1,0 +1,85 @@
+package simnet
+
+import (
+	"time"
+
+	"hitlist6/internal/addr"
+)
+
+// Hop is one traceroute hop: the responding router (or endpoint) address
+// at a TTL.
+type Hop struct {
+	TTL  int
+	Addr addr.Addr
+	// Dest is true when the hop is the destination itself answering.
+	Dest bool
+}
+
+// TraceRoute returns the hop sequence a Yarrp-style traceroute from a
+// vantage in srcASN toward dst observes at time t. The path is a
+// deterministic function of (source AS, destination AS): a couple of
+// backbone routers from intermediate ASes, the destination AS's core and
+// edge routers, the site CPE when the destination is a customer address,
+// and finally the destination itself when it answers probes.
+//
+// Roughly 10% of hops are silent (routers that do not decrement-and-reply),
+// modelled by skipping them deterministically, so traces contain TTL gaps
+// exactly as real Yarrp output does.
+func (w *World) TraceRoute(srcASN uint32, dst addr.Addr, t time.Time) []Hop {
+	dstNet := w.asFor(dst)
+	if dstNet == nil {
+		return nil
+	}
+	pathSeed := hash3(uint64(srcASN), uint64(dstNet.cfg.ASN), 0x7ace)
+
+	var hops []Hop
+	ttl := 1
+	appendRouter := func(a addr.Addr, h uint64) {
+		// ~10% silent hops: TTL advances with no response recorded.
+		if unit(mix64(h^uint64(ttl))) < 0.10 {
+			ttl++
+			return
+		}
+		hops = append(hops, Hop{TTL: ttl, Addr: a})
+		ttl++
+	}
+
+	// Backbone: 2–3 routers drawn from other ASes' infra.
+	nBackbone := 2 + int(pathSeed%2)
+	for i := 0; i < nBackbone; i++ {
+		transit := w.ases[hash3(pathSeed, uint64(i), 0xbb)%uint64(len(w.ases))]
+		if len(transit.routers) == 0 {
+			continue
+		}
+		r := transit.routers[hash3(pathSeed, uint64(i), 0xcc)%uint64(len(transit.routers))]
+		appendRouter(r, hash3(pathSeed, uint64(i), 0xdd))
+	}
+
+	// Destination AS core + edge routers.
+	if len(dstNet.routers) > 0 {
+		appendRouter(dstNet.routers[0], hash3(pathSeed, 100, 0xee))
+		if len(dstNet.routers) > 1 {
+			edge := dstNet.routers[1+hash3(pathSeed, 101, 0xef)%uint64(len(dstNet.routers)-1)]
+			appendRouter(edge, hash3(pathSeed, 102, 0xf0))
+		}
+	}
+
+	// Customer destinations: the site's CPE WAN address is the last hop
+	// before the host. This is how active campaigns discover CPE.
+	hi := dst.Hi()
+	if hi&dstNet.halfBit == 0 {
+		slot := (hi >> dstNet.slotShift) & (dstNet.slotCount() - 1)
+		if site := dstNet.siteForSlot(t, w.Origin, slot); site != nil && site.cpe != nil {
+			if site.cpe.ActiveAt(t) && !site.cpe.firewalled {
+				hops = append(hops, Hop{TTL: ttl, Addr: site.cpe.AddressAt(t)})
+			}
+			ttl++
+		}
+	}
+
+	// Destination reply, if it answers probes at all.
+	if res := w.Probe(dst, t); res.Responded {
+		hops = append(hops, Hop{TTL: ttl, Addr: dst, Dest: true})
+	}
+	return hops
+}

@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders aligned text tables for the experiment harness output. It
+// intentionally mirrors the look of the paper's tables so EXPERIMENTS.md can
+// paste harness output directly.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped and
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row built with fmt.Sprint applied to each value.
+func (t *Table) AddRowf(values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case string:
+			cells[i] = x
+		case float64:
+			cells[i] = fmt.Sprintf("%.4g", x)
+		default:
+			cells[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(cells...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for pad := widths[i] - len(c); pad > 0; pad-- {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Comma formats an integer with thousands separators (1234567 ->
+// "1,234,567"), matching how the paper reports counts.
+func Comma(n int64) string {
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	s := fmt.Sprintf("%d", n)
+	if len(s) <= 3 {
+		if neg {
+			return "-" + s
+		}
+		return s
+	}
+	var b strings.Builder
+	lead := len(s) % 3
+	if lead > 0 {
+		b.WriteString(s[:lead])
+	}
+	for i := lead; i < len(s); i += 3 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s[i : i+3])
+	}
+	if neg {
+		return "-" + b.String()
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage with the given number of decimals.
+func Pct(frac float64, decimals int) string {
+	return fmt.Sprintf("%.*f%%", decimals, frac*100)
+}
+
+// AsciiCDF renders an empirical distribution as a small ASCII plot, used by
+// cmd/v6study to echo the paper's figures in terminal output. width and
+// height control the plot raster.
+func AsciiCDF(title string, series map[string][]CDFPoint, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	var minX, maxX float64
+	first := true
+	for _, pts := range series {
+		for _, p := range pts {
+			if first {
+				minX, maxX = p.X, p.X
+				first = false
+				continue
+			}
+			if p.X < minX {
+				minX = p.X
+			}
+			if p.X > maxX {
+				maxX = p.X
+			}
+		}
+	}
+	if first || maxX == minX {
+		maxX = minX + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	// Deterministic ordering for reproducible output.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	var legend strings.Builder
+	for idx, name := range names {
+		mark := marks[idx%len(marks)]
+		for _, p := range series[name] {
+			x := int(float64(width-1) * (p.X - minX) / (maxX - minX))
+			y := height - 1 - int(float64(height-1)*clamp01(p.Y))
+			if x >= 0 && x < width && y >= 0 && y < height {
+				grid[y][x] = mark
+			}
+		}
+		fmt.Fprintf(&legend, "  %c %s\n", mark, name)
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, row := range grid {
+		yVal := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%5.2f |%s|\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "       %-*.3g%*.3g\n", width/2, minX, width-width/2, maxX)
+	b.WriteString(legend.String())
+	return b.String()
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,185 @@
+package tga
+
+import (
+	"math/rand"
+	"sort"
+
+	"hitlist6/internal/addr"
+)
+
+// SixGen is a 6Gen-inspired cluster generator (Murdock et al., IMC'17):
+// seed addresses are grouped into clusters of nibble-wise similar IIDs
+// within each /64; each cluster induces a wildcard range (positions where
+// members disagree become free nibbles), and candidates enumerate the
+// densest ranges first — the ranges most likely to contain further live
+// addresses.
+type SixGen struct {
+	clusters []cluster
+	// MaxRangeBits caps the free-nibble count per range so a single loose
+	// cluster cannot eat the whole budget (default 3 nibbles = 4096
+	// candidates).
+	MaxRangeBits int
+}
+
+// cluster is one wildcard range: a /64, the fixed nibble pattern, and the
+// free positions.
+type cluster struct {
+	p64     addr.Prefix64
+	pattern uint64 // fixed nibble values
+	free    []int  // free nibble positions (0 = most significant)
+	size    int    // seeds captured
+}
+
+// density orders clusters: more members per free nibble first.
+func (c cluster) density() float64 {
+	return float64(c.size) / float64(1+len(c.free))
+}
+
+// NewSixGen clusters the seeds. maxDist is the nibble Hamming distance
+// merged into one cluster (6Gen grows ranges while density is
+// non-decreasing; this simplified variant uses a fixed radius, default 2).
+func NewSixGen(seeds []addr.Addr, maxDist int) *SixGen {
+	if maxDist <= 0 {
+		maxDist = 2
+	}
+	g := &SixGen{MaxRangeBits: 3}
+
+	// Group seeds by /64.
+	byP64 := make(map[addr.Prefix64][]uint64)
+	for _, a := range seeds {
+		byP64[a.P64()] = append(byP64[a.P64()], uint64(a.IID()))
+	}
+	var p64s []addr.Prefix64
+	for p := range byP64 {
+		p64s = append(p64s, p)
+	}
+	sort.Slice(p64s, func(i, j int) bool { return p64s[i] < p64s[j] })
+
+	for _, p := range p64s {
+		iids := byP64[p]
+		sort.Slice(iids, func(i, j int) bool { return iids[i] < iids[j] })
+		used := make([]bool, len(iids))
+		for i := range iids {
+			if used[i] {
+				continue
+			}
+			members := []uint64{iids[i]}
+			used[i] = true
+			for j := i + 1; j < len(iids); j++ {
+				if used[j] {
+					continue
+				}
+				if nibbleHamming(iids[i], iids[j]) <= maxDist {
+					members = append(members, iids[j])
+					used[j] = true
+				}
+			}
+			g.clusters = append(g.clusters, makeCluster(p, members))
+		}
+	}
+	sort.Slice(g.clusters, func(i, j int) bool {
+		di, dj := g.clusters[i].density(), g.clusters[j].density()
+		if di != dj {
+			return di > dj
+		}
+		if g.clusters[i].p64 != g.clusters[j].p64 {
+			return g.clusters[i].p64 < g.clusters[j].p64
+		}
+		return g.clusters[i].pattern < g.clusters[j].pattern
+	})
+	return g
+}
+
+// nibbleHamming counts differing nibbles between two IIDs.
+func nibbleHamming(a, b uint64) int {
+	x := a ^ b
+	n := 0
+	for i := 0; i < 16; i++ {
+		if x&0xf != 0 {
+			n++
+		}
+		x >>= 4
+	}
+	return n
+}
+
+// makeCluster derives the wildcard pattern from member IIDs.
+func makeCluster(p addr.Prefix64, members []uint64) cluster {
+	c := cluster{p64: p, pattern: members[0], size: len(members)}
+	for pos := 0; pos < 16; pos++ {
+		shift := uint((15 - pos) * 4)
+		v := members[0] >> shift & 0xf
+		for _, m := range members[1:] {
+			if m>>shift&0xf != v {
+				c.free = append(c.free, pos)
+				c.pattern &^= 0xf << shift
+				break
+			}
+		}
+	}
+	return c
+}
+
+// Clusters returns the number of ranges learned.
+func (g *SixGen) Clusters() int { return len(g.clusters) }
+
+// Name implements Generator.
+func (g *SixGen) Name() string { return "6gen" }
+
+// Generate implements Generator: ranges are expanded densest-first.
+// Free-nibble combinations enumerate deterministically; rng only breaks
+// ties beyond the enumeration budget.
+func (g *SixGen) Generate(n int, rng *rand.Rand) []addr.Addr {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]addr.Addr, 0, n)
+	seen := make(map[addr.Addr]struct{}, n)
+	emit := func(a addr.Addr) bool {
+		if _, dup := seen[a]; dup {
+			return len(out) < n
+		}
+		seen[a] = struct{}{}
+		out = append(out, a)
+		return len(out) < n
+	}
+	for _, c := range g.clusters {
+		free := c.free
+		if len(free) > g.MaxRangeBits {
+			free = free[:g.MaxRangeBits]
+		}
+		total := 1
+		for range free {
+			total *= 16
+		}
+		for k := 0; k < total; k++ {
+			iid := c.pattern
+			kk := k
+			for _, pos := range free {
+				shift := uint((15 - pos) * 4)
+				iid |= uint64(kk&0xf) << shift
+				kk >>= 4
+			}
+			if !emit(addr.FromParts(uint64(c.p64), iid)) {
+				return out
+			}
+		}
+	}
+	// Budget left after all ranges: jitter the densest ranges randomly.
+	for len(out) < n && len(g.clusters) > 0 && rng != nil {
+		c := g.clusters[rng.Intn(len(g.clusters))]
+		iid := c.pattern
+		for _, pos := range c.free {
+			shift := uint((15 - pos) * 4)
+			iid |= uint64(rng.Intn(16)) << shift
+		}
+		// Also mutate one random nibble to escape exhausted ranges.
+		pos := rng.Intn(16)
+		shift := uint((15 - pos) * 4)
+		iid = iid&^(0xf<<shift) | uint64(rng.Intn(16))<<shift
+		if !emit(addr.FromParts(uint64(c.p64), iid)) {
+			break
+		}
+	}
+	return out
+}

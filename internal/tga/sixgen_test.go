@@ -1,0 +1,138 @@
+package tga
+
+import (
+	"math/rand"
+	"testing"
+
+	"hitlist6/internal/addr"
+)
+
+func TestNibbleHamming(t *testing.T) {
+	cases := []struct {
+		a, b uint64
+		want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 0x11, 2},
+		{0xffffffffffffffff, 0, 16},
+		{0x1200, 0x1300, 1},
+	}
+	for _, c := range cases {
+		if got := nibbleHamming(c.a, c.b); got != c.want {
+			t.Errorf("nibbleHamming(%x, %x): got %d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSixGenClustersSimilarSeeds(t *testing.T) {
+	// Four IIDs differing in one nibble cluster together; one distant IID
+	// forms its own cluster.
+	p64 := uint64(0x20010db8_00010000)
+	seeds := []addr.Addr{
+		addr.FromParts(p64, 0x1001),
+		addr.FromParts(p64, 0x1002),
+		addr.FromParts(p64, 0x1003),
+		addr.FromParts(p64, 0x1004),
+		addr.FromParts(p64, 0xdeadbeefcafe0000),
+	}
+	g := NewSixGen(seeds, 2)
+	if g.Clusters() != 2 {
+		t.Fatalf("clusters: %d want 2", g.Clusters())
+	}
+	// The dense cluster's wildcard expansion must contain the gaps
+	// between observed members (::1005 etc.).
+	cands := g.Generate(32, rand.New(rand.NewSource(1)))
+	want := addr.FromParts(p64, 0x1005)
+	found := false
+	for _, c := range cands {
+		if c == want {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("expansion missing in-range candidate %s", want)
+	}
+}
+
+func TestSixGenDensestFirst(t *testing.T) {
+	p64 := uint64(0x20010db8_00010000)
+	var seeds []addr.Addr
+	// Dense cluster: 8 members, 1 free nibble.
+	for i := 0; i < 8; i++ {
+		seeds = append(seeds, addr.FromParts(p64, uint64(0x2000+i)))
+	}
+	// Sparse cluster: 2 members far apart in another /64.
+	seeds = append(seeds,
+		addr.FromParts(p64+1, 0x1111000000000000),
+		addr.FromParts(p64+1, 0x1111000000000001),
+	)
+	g := NewSixGen(seeds, 2)
+	cands := g.Generate(4, rand.New(rand.NewSource(1)))
+	if len(cands) != 4 {
+		t.Fatalf("candidates: %d", len(cands))
+	}
+	// First emissions come from the densest range (the 0x200x cluster).
+	for _, c := range cands {
+		if c.P64() != addr.FromParts(p64, 0).P64() {
+			t.Errorf("candidate %s not from densest cluster", c)
+		}
+	}
+}
+
+func TestSixGenBudgetAndDedupe(t *testing.T) {
+	p64 := uint64(0x20010db8_00010000)
+	seeds := []addr.Addr{
+		addr.FromParts(p64, 1),
+		addr.FromParts(p64, 2),
+	}
+	g := NewSixGen(seeds, 2)
+	rng := rand.New(rand.NewSource(2))
+	cands := g.Generate(100, rng)
+	seen := make(map[addr.Addr]bool)
+	for _, c := range cands {
+		if seen[c] {
+			t.Fatalf("duplicate %s", c)
+		}
+		seen[c] = true
+	}
+	if got := g.Generate(0, rng); got != nil {
+		t.Errorf("n=0: %v", got)
+	}
+}
+
+func TestSixGenMaxRangeBitsCap(t *testing.T) {
+	p64 := uint64(0x20010db8_00010000)
+	// Members differing in many nibbles force a wide range; the cap keeps
+	// enumeration bounded.
+	seeds := []addr.Addr{
+		addr.FromParts(p64, 0x1111111111111111),
+		addr.FromParts(p64, 0x2222222222222222),
+	}
+	g := NewSixGen(seeds, 16)
+	if g.Clusters() != 1 {
+		t.Fatalf("clusters: %d", g.Clusters())
+	}
+	cands := g.Generate(10000, rand.New(rand.NewSource(3)))
+	if len(cands) > 10000 {
+		t.Errorf("overproduced: %d", len(cands))
+	}
+	if len(cands) == 0 {
+		t.Error("no candidates despite wide range")
+	}
+}
+
+func TestSixGenDeterministicPrefix(t *testing.T) {
+	seeds := fixedSeeds()
+	a := NewSixGen(seeds, 2).Generate(64, rand.New(rand.NewSource(7)))
+	b := NewSixGen(seeds, 2).Generate(64, rand.New(rand.NewSource(7)))
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("candidate %d differs", i)
+		}
+	}
+}

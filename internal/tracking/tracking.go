@@ -1,0 +1,332 @@
+// Package tracking implements the paper's §5 privacy analyses over the
+// passive corpus: EUI-64 prevalence and manufacturer attribution (§5.1,
+// Table 2), the five-way device-tracking classifier (§5.2), the lifetime
+// and prefix-spread distributions of Figure 6, and the Figure 7 exemplar
+// timelines.
+package tracking
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"hitlist6/internal/addr"
+	"hitlist6/internal/asdb"
+	"hitlist6/internal/collector"
+	"hitlist6/internal/geodb"
+	"hitlist6/internal/oui"
+	"hitlist6/internal/stats"
+)
+
+// Class is the §5.2 explanation for an EUI-64 IID's re-occurrence
+// pattern.
+type Class uint8
+
+const (
+	// NotTrackable: the IID never changed /64 (excluded from the
+	// classification universe).
+	NotTrackable Class = iota
+	// MostlyStatic: low AS count, low country count, few transitions
+	// (paper: 86%).
+	MostlyStatic
+	// PrefixReassignment: one AS, one country, many /64 transitions —
+	// provider renumbering (paper: 8%, Fig 7a).
+	PrefixReassignment
+	// MACReuse: many ASes AND many countries — several devices share the
+	// identifier (paper: 0.01%, Fig 7b).
+	MACReuse
+	// ProviderChange: multiple ASes in one country, few transitions
+	// (paper: 5%, Fig 7c).
+	ProviderChange
+	// UserMovement: multiple ASes in one country with many transitions —
+	// a device moving between WiFi and cellular (paper: 0.44%, Fig 7d).
+	UserMovement
+	// NumClasses counts the classes.
+	NumClasses
+)
+
+// String names the class as §5.2 does.
+func (c Class) String() string {
+	switch c {
+	case NotTrackable:
+		return "Not trackable (single /64)"
+	case MostlyStatic:
+		return "Mostly static hosts"
+	case PrefixReassignment:
+		return "Likely prefix reassignment"
+	case MACReuse:
+		return "Likely MAC reuse"
+	case ProviderChange:
+		return "Changing providers"
+	case UserMovement:
+		return "Likely user movement"
+	default:
+		return "Unknown"
+	}
+}
+
+// transitionThreshold is the paper's "more than 10 transitions is high".
+const transitionThreshold = 10
+
+// MACInfo aggregates everything known about one EUI-64 identifier.
+type MACInfo struct {
+	MAC    addr.MAC
+	IID    addr.IID
+	Vendor string
+	Record *collector.IIDRecord
+	// ASNs and Countries are the distinct origin networks the identifier
+	// appeared in.
+	ASNs      map[asdb.ASN]struct{}
+	Countries map[string]struct{}
+	// Transitions approximates /64 changes as (#distinct /64s - 1).
+	Transitions int
+	Class       Class
+}
+
+// Classify applies the paper's heuristic to one identifier's footprint.
+func Classify(numASes, numCountries, transitions int) Class {
+	if transitions < 1 {
+		return NotTrackable
+	}
+	asHigh := numASes > 1
+	ccHigh := numCountries > 1
+	trHigh := transitions > transitionThreshold
+	switch {
+	case ccHigh:
+		// Many countries (necessarily with several ASes in practice):
+		// simultaneous devices, i.e. vendor MAC reuse.
+		return MACReuse
+	case asHigh && trHigh:
+		return UserMovement
+	case asHigh:
+		return ProviderChange
+	case trHigh:
+		return PrefixReassignment
+	default:
+		return MostlyStatic
+	}
+}
+
+// Analysis is the full §5.1/§5.2 result set.
+type Analysis struct {
+	// EUI64Addresses is the number of unique EUI-64 addresses in the
+	// corpus (paper: 238,281,703 = 3%).
+	EUI64Addresses int
+	// ExpectedRandom is how many random IIDs would masquerade as EUI-64
+	// (corpus size / 2^16; paper: < 121,000).
+	ExpectedRandom float64
+	// MACs holds one entry per unique embedded MAC.
+	MACs []*MACInfo
+	// Trackable is the number of MACs in >= 2 /64s (paper: 14,943,429 =
+	// 8.7%).
+	Trackable int
+	// ClassCounts tallies trackable MACs per class.
+	ClassCounts [NumClasses]int
+	// VendorCounts is Table 2: embedded-MAC count per manufacturer.
+	VendorCounts map[string]int
+}
+
+// Analyze runs the full EUI-64 privacy analysis over a collector.
+func Analyze(c *collector.Collector, db *asdb.DB, geo *geodb.DB, reg *oui.Registry) *Analysis {
+	a := &Analysis{VendorCounts: make(map[string]int)}
+
+	// Count unique EUI-64 *addresses* for the prevalence headline.
+	c.Addrs(func(ad addr.Addr, _ *collector.AddrRecord) bool {
+		if ad.IID().IsEUI64() {
+			a.EUI64Addresses++
+		}
+		return true
+	})
+	a.ExpectedRandom = float64(c.NumAddrs()) / 65536
+
+	c.EUI64IIDs(func(iid addr.IID, r *collector.IIDRecord) bool {
+		mac, err := addr.MACFromEUI64(iid)
+		if err != nil {
+			return true
+		}
+		info := &MACInfo{
+			MAC:       mac,
+			IID:       iid,
+			Vendor:    reg.LookupMAC(mac),
+			Record:    r,
+			ASNs:      make(map[asdb.ASN]struct{}),
+			Countries: make(map[string]struct{}),
+		}
+		for p := range r.P64s {
+			base := p.Addr()
+			if asn, ok := db.OriginASN(base); ok {
+				info.ASNs[asn] = struct{}{}
+			}
+			if cc := geo.Country(base); cc != "" {
+				info.Countries[cc] = struct{}{}
+			}
+		}
+		info.Transitions = len(r.P64s) - 1
+		info.Class = Classify(len(info.ASNs), len(info.Countries), info.Transitions)
+		a.MACs = append(a.MACs, info)
+		a.VendorCounts[info.Vendor]++
+		if info.Class != NotTrackable {
+			a.Trackable++
+		}
+		a.ClassCounts[info.Class]++
+		return true
+	})
+	sort.Slice(a.MACs, func(i, j int) bool {
+		return macLess(a.MACs[i].MAC, a.MACs[j].MAC)
+	})
+	return a
+}
+
+func macLess(x, y addr.MAC) bool {
+	for i := 0; i < 6; i++ {
+		if x[i] != y[i] {
+			return x[i] < y[i]
+		}
+	}
+	return false
+}
+
+// ClassShare returns the fraction of *trackable* MACs in a class, the
+// denominator the paper uses for its 86/8/0.01/5/0.44% split.
+func (a *Analysis) ClassShare(c Class) float64 {
+	if a.Trackable == 0 || c == NotTrackable {
+		return 0
+	}
+	return float64(a.ClassCounts[c]) / float64(a.Trackable)
+}
+
+// VendorRow is one Table 2 line.
+type VendorRow struct {
+	Manufacturer string
+	Count        int
+}
+
+// Table2 returns manufacturer counts sorted descending (ties by name),
+// exactly the layout of the paper's Table 2.
+func (a *Analysis) Table2() []VendorRow {
+	out := make([]VendorRow, 0, len(a.VendorCounts))
+	for v, n := range a.VendorCounts {
+		out = append(out, VendorRow{Manufacturer: v, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Manufacturer < out[j].Manufacturer
+	})
+	return out
+}
+
+// UnlistedShare returns the fraction of MACs resolving to no registered
+// manufacturer (paper: 73.9%).
+func (a *Analysis) UnlistedShare() float64 {
+	if len(a.MACs) == 0 {
+		return 0
+	}
+	return float64(a.VendorCounts[oui.Unlisted]) / float64(len(a.MACs))
+}
+
+// Figure6a builds the CDF of EUI-64 IID lifetimes.
+func Figure6a(c *collector.Collector) *stats.Distribution {
+	var samples []float64
+	c.EUI64IIDs(func(_ addr.IID, r *collector.IIDRecord) bool {
+		samples = append(samples, r.Lifetime().Seconds())
+		return true
+	})
+	return stats.NewDistribution(samples)
+}
+
+// Figure6b builds the distribution of the number of /64s each EUI-64 IID
+// appears in (the paper plots its CCDF).
+func Figure6b(c *collector.Collector) *stats.Distribution {
+	var samples []float64
+	c.EUI64IIDs(func(_ addr.IID, r *collector.IIDRecord) bool {
+		samples = append(samples, float64(len(r.P64s)))
+		return true
+	})
+	return stats.NewDistribution(samples)
+}
+
+// TimelineEntry is one prefix residence of a tracked identifier.
+type TimelineEntry struct {
+	Prefix48    addr.Prefix48
+	ASN         asdb.ASN
+	ASName      string
+	Country     string
+	First, Last time.Time
+}
+
+// Timeline reconstructs the Figure 7 exemplar view for one MAC: every /48
+// it appeared in, with AS attribution and the sighting window, ordered by
+// first sighting.
+func Timeline(info *MACInfo, db *asdb.DB) []TimelineEntry {
+	byP48 := make(map[addr.Prefix48]*TimelineEntry)
+	for p, span := range info.Record.P64s {
+		p48 := p.P48()
+		e, ok := byP48[p48]
+		if !ok {
+			e = &TimelineEntry{
+				Prefix48: p48,
+				First:    time.Unix(span.First, 0).UTC(),
+				Last:     time.Unix(span.Last, 0).UTC(),
+			}
+			if as := db.Lookup(p48.Addr()); as != nil {
+				e.ASN, e.ASName, e.Country = as.ASN, as.Name, as.Country
+			}
+			byP48[p48] = e
+		} else {
+			if f := time.Unix(span.First, 0).UTC(); f.Before(e.First) {
+				e.First = f
+			}
+			if l := time.Unix(span.Last, 0).UTC(); l.After(e.Last) {
+				e.Last = l
+			}
+		}
+	}
+	out := make([]TimelineEntry, 0, len(byP48))
+	for _, e := range byP48 {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].First.Equal(out[j].First) {
+			return out[i].First.Before(out[j].First)
+		}
+		return out[i].Prefix48 < out[j].Prefix48
+	})
+	return out
+}
+
+// Exemplar picks the trackable MAC best illustrating a class: the one
+// with the most /64s (MACReuse prefers most countries). Returns nil when
+// the class is empty.
+func (a *Analysis) Exemplar(c Class) *MACInfo {
+	var best *MACInfo
+	score := func(m *MACInfo) int {
+		if c == MACReuse {
+			return len(m.Countries)*1000 + len(m.Record.P64s)
+		}
+		return len(m.Record.P64s)
+	}
+	for _, m := range a.MACs {
+		if m.Class != c {
+			continue
+		}
+		if best == nil || score(m) > score(best) {
+			best = m
+		}
+	}
+	return best
+}
+
+// RenderTimeline prints a Figure 7-style text timeline.
+func RenderTimeline(info *MACInfo, db *asdb.DB) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MAC %s (%s) — %s\n", info.MAC, info.Vendor, info.Class)
+	for _, e := range Timeline(info, db) {
+		fmt.Fprintf(&b, "  %s  %s – %s  AS%d %s (%s)\n",
+			e.Prefix48, e.First.Format("02-Jan-06"), e.Last.Format("02-Jan-06"),
+			e.ASN, e.ASName, e.Country)
+	}
+	return b.String()
+}

@@ -1,0 +1,27 @@
+package hitlist6
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDetectOutagesAPI(t *testing.T) {
+	s, err := NewStudy(testConfig(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The default world has no injected outages; the detector must not
+	// hallucinate large events for busy ASes.
+	events, err := s.DetectOutages(12 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e.MedianVolume > 50 && e.DarkBins > 6 {
+			t.Errorf("implausible outage on healthy world: %v", e)
+		}
+	}
+	if _, err := s.DetectOutages(0); err == nil {
+		t.Error("zero bin should fail")
+	}
+}

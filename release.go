@@ -1,0 +1,6 @@
+package hitlist6
+
+import "hitlist6/internal/hitlist"
+
+// releaseDataset is a thin indirection so report.go stays import-light.
+func releaseDataset(d *hitlist.Dataset) string { return hitlist.Release(d) }

@@ -1,0 +1,342 @@
+package hitlist6
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"hitlist6/internal/addr"
+	"hitlist6/internal/analysis"
+	"hitlist6/internal/asdb"
+	"hitlist6/internal/cardinality"
+	"hitlist6/internal/collector"
+	"hitlist6/internal/geodb"
+	"hitlist6/internal/oui"
+	"hitlist6/internal/scan"
+	"hitlist6/internal/stats"
+	"hitlist6/internal/tracking"
+)
+
+// Report runs every experiment of the paper's evaluation and renders the
+// results as text, one section per table/figure. It is the programmatic
+// equivalent of reading the paper's §4 and §5 off this reproduction.
+func (s *Study) Report() (string, error) {
+	if err := s.requireDatasets(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	sec := func(format string, args ...any) {
+		fmt.Fprintf(&b, "\n"+format+"\n", args...)
+	}
+
+	fmt.Fprintf(&b, "IPv6 Hitlists at Scale — reproduction report (seed=%d scale=%g days=%d)\n",
+		s.Config.Seed, s.Config.Scale, s.Config.Days)
+	fmt.Fprintf(&b, "Observations: %s queries, %s unique addresses, %s unique IIDs\n",
+		stats.Comma(int64(s.RunStats.Queries)),
+		stats.Comma(int64(s.Collector.NumAddrs())),
+		stats.Comma(int64(s.Collector.NumIIDs())))
+	// At the paper's 7.9B scale exact sets do not fit in memory; show the
+	// constant-space estimator a full deployment would use next to the
+	// exact count this simulation can afford.
+	if sketch, err := cardinality.NewHLL(14); err == nil {
+		s.Collector.Addrs(func(a addr.Addr, _ *collector.AddrRecord) bool {
+			sketch.AddAddr(a)
+			return true
+		})
+		fmt.Fprintf(&b, "HyperLogLog estimate: %s unique addresses from a %d-byte sketch (±%.1f%%)\n",
+			stats.Comma(int64(sketch.Estimate())), sketch.SizeBytes(),
+			100*sketch.RelativeError())
+	}
+
+	// ---- Table 1 ----
+	t1, err := s.Table1()
+	if err != nil {
+		return "", err
+	}
+	sec("%s", t1.Render())
+
+	// ---- §4.1 AS type shares ----
+	sec("AS-type composition (share of addresses; paper: NTP has ~14%% Phone Provider, Hitlist ~2%%)")
+	typeTable := stats.NewTable("", "Dataset", "Phone Provider", "ISP", "Hosting")
+	for _, row := range []struct {
+		name  string
+		share map[asdb.ASType]float64
+	}{
+		{"NTP", analysis.ASTypeShare(s.NTP, s.World.ASDB)},
+		{"Hitlist", analysis.ASTypeShare(s.Hitlist.Dataset, s.World.ASDB)},
+		{"CAIDA", analysis.ASTypeShare(s.CAIDA, s.World.ASDB)},
+	} {
+		typeTable.AddRow(row.name,
+			stats.Pct(row.share[asdb.TypePhoneProvider], 1),
+			stats.Pct(row.share[asdb.TypeISP], 1),
+			stats.Pct(row.share[asdb.TypeHosting], 1))
+	}
+	sec("%s", typeTable.String())
+
+	// ---- Figure 1 ----
+	f1, err := s.Figure1()
+	if err != nil {
+		return "", err
+	}
+	sec("Figure 1: normalized IID entropy medians (paper: NTP ~0.8, Hitlist ~0.7, CAIDA ~0)")
+	f1Table := stats.NewTable("", "Curve", "N", "Median entropy")
+	f1Table.AddRowf("NTP", f1.NTP.N(), f1.NTP.Median())
+	f1Table.AddRowf("IPv6 Hitlist", f1.Hitlist.N(), f1.Hitlist.Median())
+	f1Table.AddRowf("CAIDA", f1.CAIDA.N(), f1.CAIDA.Median())
+	f1Table.AddRowf("NTP ∩ Hitlist", f1.NTPxHitlist.N(), f1.NTPxHitlist.Median())
+	f1Table.AddRowf("NTP ∩ CAIDA", f1.NTPxCAIDA.N(), f1.NTPxCAIDA.Median())
+	sec("%s", f1Table.String())
+	sec("%s", stats.AsciiCDF("Figure 1 (CDF of IID entropy)", map[string][]stats.CDFPoint{
+		"NTP":     f1.NTP.CDFSeries(48),
+		"Hitlist": f1.Hitlist.CDFSeries(48),
+		"CAIDA":   f1.CAIDA.CDFSeries(48),
+	}, 48, 12))
+
+	// ---- Figure 2 ----
+	f2a, err := s.Figure2a()
+	if err != nil {
+		return "", err
+	}
+	sec("Figure 2a: address lifetimes (paper: >60%% observed once; 1.2%% ≥1w; 0.4%% ≥30d; 0.03%% >6mo)")
+	f2aTable := stats.NewTable("", "Metric", "Fraction")
+	f2aTable.AddRow("observed once", stats.Pct(f2a.ObservedOnce, 1))
+	f2aTable.AddRow(">= 1 week", stats.Pct(f2a.WeekOrLonger, 2))
+	f2aTable.AddRow(">= 30 days", stats.Pct(f2a.MonthOrLonger, 2))
+	f2aTable.AddRow("> 180 days", stats.Pct(f2a.SixMonthsOrLonger, 3))
+	sec("%s", f2aTable.String())
+
+	f2b, err := s.Figure2b()
+	if err != nil {
+		return "", err
+	}
+	sec("Figure 2b: IID lifetime by entropy class (paper: 10%% of low-entropy IIDs last ≥1 week vs ≤5%% of others)")
+	f2bTable := stats.NewTable("", "Entropy class", "IIDs", "Observed once", ">= 1 week")
+	for _, cls := range []addr.EntropyClass{addr.LowEntropy, addr.MediumEntropy, addr.HighEntropy} {
+		d := f2b.ByClass[cls]
+		if d == nil {
+			continue
+		}
+		f2bTable.AddRow(cls.String(), stats.Comma(int64(d.N())),
+			stats.Pct(f2b.ObservedOnce[cls], 1), stats.Pct(f2b.WeekOrLonger[cls], 1))
+	}
+	sec("%s", f2bTable.String())
+
+	// ---- §4.2 backscanning + Figure 3 ----
+	bs, err := s.Backscan()
+	if err != nil {
+		return "", err
+	}
+	sec("%s", RenderBackscan(bs, s))
+
+	// ---- Figures 4a / 4b ----
+	for _, fig := range []struct {
+		title string
+		fn    func(int) ([]analysis.ASEntropy, error)
+	}{
+		{"Figure 4a: top-5 AS entropy medians (full window)", s.Figure4a},
+		{"Figure 4b: top-5 AS entropy medians (1-day slice)", s.Figure4b},
+	} {
+		rows, err := fig.fn(5)
+		if err != nil {
+			return "", err
+		}
+		tb := stats.NewTable(fig.title, "AS", "Addresses", "Median entropy", "Frac > 0.75")
+		for _, r := range rows {
+			tb.AddRow(fmt.Sprintf("AS%d %s", r.ASN, r.Name),
+				stats.Comma(int64(r.Count)),
+				fmt.Sprintf("%.3f", r.Dist.Median()),
+				stats.Pct(r.Dist.CCDF(0.75), 1))
+		}
+		sec("%s", tb.String())
+	}
+
+	// ---- §4.3 addressing strategies ----
+	profiles, err := s.Strategies(6)
+	if err != nil {
+		return "", err
+	}
+	sec("%s", analysis.RenderStrategies(profiles))
+
+	// ---- Figure 5 ----
+	f5, err := s.Figure5()
+	if err != nil {
+		return "", err
+	}
+	sec("Figure 5: addressing categories, 1-day slice (paper: NTP ~2/3 high entropy; Hitlist low-byte heavy)")
+	f5Table := stats.NewTable("", "Category", "NTP", "IPv6 Hitlist")
+	for c := addr.Category(0); c < addr.NumCategories; c++ {
+		f5Table.AddRow(c.String(),
+			stats.Pct(f5.NTP.Fractions[c], 2), stats.Pct(f5.Hitlist.Fractions[c], 2))
+	}
+	sec("%s", f5Table.String())
+
+	// ---- §5.1/5.2 tracking ----
+	tr, err := s.Tracking()
+	if err != nil {
+		return "", err
+	}
+	sec("%s", RenderTracking(tr, s.World.ASDB))
+
+	// ---- §5.3 geolocation ----
+	geo, err := s.Geolocation(0)
+	if err != nil {
+		return "", err
+	}
+	sec("%s", RenderGeolocation(geo))
+
+	return b.String(), nil
+}
+
+// RenderBackscan formats the §4.2 campaign results with Figure 3's
+// entropy medians.
+func RenderBackscan(bs *scan.BackscanStats, s *Study) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 4.2: backscanning (paper: ~2/3 of clients respond; 3.5%% of random probes respond)\n")
+	fmt.Fprintf(&b, "  clients probed:   %s\n", stats.Comma(int64(bs.ClientsProbed)))
+	fmt.Fprintf(&b, "  client responses: %s (%s)\n",
+		stats.Comma(int64(bs.ClientResponses)), stats.Pct(bs.ClientResponseRate(), 1))
+	fmt.Fprintf(&b, "  random probes:    %s, responses %s (%s)\n",
+		stats.Comma(int64(bs.RandomProbes)), stats.Comma(int64(bs.RandomResponses)),
+		stats.Pct(bs.RandomResponseRate(), 2))
+	fmt.Fprintf(&b, "  aliased /64s discovered: %d\n", len(bs.AliasedPrefixes))
+
+	if s != nil && s.Hitlist != nil {
+		known, novel := 0, 0
+		for p := range bs.AliasedPrefixes {
+			if s.Hitlist.Aliases.Contains(p) {
+				known++
+			} else {
+				novel++
+			}
+		}
+		fmt.Fprintf(&b, "  of which already in the Hitlist alias list: %d; newly discovered: %d (paper: 98%% known, plus novel)\n",
+			known, novel)
+	}
+
+	hit, miss, random := Figure3(bs)
+	fig3 := stats.NewTable("Figure 3: backscan entropy medians", "Series", "N", "Median entropy")
+	for _, row := range []struct {
+		name    string
+		samples []float64
+	}{{"NTP Hit", hit}, {"NTP Miss", miss}, {"Random", random}} {
+		d := stats.NewDistribution(row.samples)
+		fig3.AddRowf(row.name, d.N(), d.Median())
+	}
+	b.WriteString("\n")
+	b.WriteString(fig3.String())
+	return b.String()
+}
+
+// RenderTracking formats §5.1's prevalence numbers, Table 2, the §5.2
+// class shares, Figure 6 summaries and one Figure 7 exemplar per class.
+func RenderTracking(tr *tracking.Analysis, db *asdb.DB) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 5.1: EUI-64 prevalence\n")
+	fmt.Fprintf(&b, "  EUI-64 addresses: %s (expected from randomness: %.0f)\n",
+		stats.Comma(int64(tr.EUI64Addresses)), tr.ExpectedRandom)
+	fmt.Fprintf(&b, "  unique embedded MACs: %s; unlisted share %s (paper: 73.9%%)\n",
+		stats.Comma(int64(len(tr.MACs))), stats.Pct(tr.UnlistedShare(), 1))
+
+	t2 := stats.NewTable("\nTable 2: MACs by manufacturer", "Manufacturer", "Count")
+	rows := tr.Table2()
+	if len(rows) > 10 {
+		rows = rows[:10]
+	}
+	for _, r := range rows {
+		t2.AddRow(r.Manufacturer, stats.Comma(int64(r.Count)))
+	}
+	b.WriteString(t2.String())
+
+	fmt.Fprintf(&b, "\nSection 5.2: tracking classes (trackable MACs: %s = %s of all; paper: 8.7%%)\n",
+		stats.Comma(int64(tr.Trackable)),
+		stats.Pct(float64(tr.Trackable)/float64(max(1, len(tr.MACs))), 1))
+	cls := stats.NewTable("", "Class", "Count", "Share", "Paper")
+	paperShare := map[tracking.Class]string{
+		tracking.MostlyStatic:       "86%",
+		tracking.PrefixReassignment: "8%",
+		tracking.MACReuse:           "0.01%",
+		tracking.ProviderChange:     "5%",
+		tracking.UserMovement:       "0.44%",
+	}
+	for c := tracking.MostlyStatic; c < tracking.NumClasses; c++ {
+		cls.AddRow(c.String(), stats.Comma(int64(tr.ClassCounts[c])),
+			stats.Pct(tr.ClassShare(c), 2), paperShare[c])
+	}
+	b.WriteString(cls.String())
+
+	fmt.Fprintf(&b, "\nFigure 7 exemplars:\n")
+	for c := tracking.PrefixReassignment; c < tracking.NumClasses; c++ {
+		if ex := tr.Exemplar(c); ex != nil {
+			b.WriteString(tracking.RenderTimeline(ex, db))
+		}
+	}
+	return b.String()
+}
+
+// RenderGeolocation formats the §5.3 outcome.
+func RenderGeolocation(g *GeolocationResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 5.3: geolocation via wired-wireless MAC offset linkage\n")
+	fmt.Fprintf(&b, "  wired MACs in corpus: %s\n", stats.Comma(int64(g.WiredMACs)))
+	fmt.Fprintf(&b, "  per-OUI offsets inferred: %d (paper: 117 OUIs)\n", len(g.Offsets))
+	fmt.Fprintf(&b, "  devices geolocated: %s (paper: 225,354; 75%% in DE from AVM CPE)\n",
+		stats.Comma(int64(len(g.Located))))
+	type cc struct {
+		country string
+		n       int
+	}
+	var counts []cc
+	for c, n := range g.Countries {
+		counts = append(counts, cc{c, n})
+	}
+	sort.Slice(counts, func(i, j int) bool {
+		if counts[i].n != counts[j].n {
+			return counts[i].n > counts[j].n
+		}
+		return counts[i].country < counts[j].country
+	})
+	total := len(g.Located)
+	for i, c := range counts {
+		if i >= 5 {
+			break
+		}
+		fmt.Fprintf(&b, "    %s: %d (%s)\n", c.country, c.n,
+			stats.Pct(float64(c.n)/float64(max(1, total)), 1))
+	}
+	return b.String()
+}
+
+// ReleaseNTP renders the NTP corpus in the paper's ethical /48-truncated
+// release format.
+func (s *Study) ReleaseNTP() (string, error) {
+	if s.NTP == nil {
+		return "", fmt.Errorf("hitlist6: passive collection has not run")
+	}
+	return releaseDataset(s.NTP), nil
+}
+
+// TopCountries returns the geolocated query origins (§3: top-5 countries
+// carried 76% of the corpus).
+func (s *Study) TopCountries(n int) ([]geodb.CountryCount, error) {
+	if s.NTP == nil {
+		return nil, fmt.Errorf("hitlist6: passive collection has not run")
+	}
+	counts := make(map[string]int)
+	s.NTP.Each(func(a addr.Addr) bool {
+		if c := s.World.Geo.Country(a); c != "" {
+			counts[c]++
+		}
+		return true
+	})
+	return geodb.TopCountries(counts, n), nil
+}
+
+// Vendors exposes the embedded OUI registry (for examples that want to
+// resolve manufacturers).
+func (s *Study) Vendors() *oui.Registry { return s.World.OUI }
+
+// StudyWindow returns the passive collection window.
+func (s *Study) StudyWindow() (start, end time.Time) {
+	return s.World.Origin, s.World.End
+}

@@ -1,0 +1,326 @@
+// Package hitlist6 reproduces "IPv6 Hitlists at Scale: Be Careful What
+// You Wish For" (Rye & Levin, SIGCOMM 2023) as a library: a passive
+// NTP-Pool-based IPv6 address collection study over a simulated Internet,
+// compared against active-measurement hitlists, with the paper's full
+// privacy analysis (EUI-64 tracking and geolocation).
+//
+// The entry point is Study:
+//
+//	study, err := hitlist6.NewStudy(hitlist6.DefaultConfig())
+//	if err != nil { ... }
+//	if err := study.Run(); err != nil { ... }
+//	fmt.Println(study.Table1().Render())
+//
+// Every experiment of the paper's evaluation is a method on Study; see
+// EXPERIMENTS.md for the full index.
+package hitlist6
+
+import (
+	"fmt"
+	"time"
+
+	"hitlist6/internal/addr"
+	"hitlist6/internal/analysis"
+	"hitlist6/internal/collector"
+	"hitlist6/internal/geoloc"
+	"hitlist6/internal/hitlist"
+	"hitlist6/internal/ntppool"
+	"hitlist6/internal/outage"
+	"hitlist6/internal/scan"
+	"hitlist6/internal/simnet"
+	"hitlist6/internal/tracking"
+	"hitlist6/internal/wigle"
+)
+
+// Config controls a study run.
+type Config struct {
+	// Seed drives all randomness; a given seed reproduces the full study
+	// bit-for-bit.
+	Seed int64
+	// Scale multiplies the simulated population (1.0 ≈ the default study
+	// size; tests use 0.02–0.1).
+	Scale float64
+	// Days is the passive collection window (the paper ran 218 days,
+	// 25 Jan – 31 Aug 2022).
+	Days int
+	// SliceDay is the study day used for the single-day analyses
+	// (Figures 4b and 5; the paper uses 1 July 2022, day 157).
+	SliceDay int
+	// HitlistRounds is the number of active hitlist snapshot campaigns.
+	HitlistRounds int
+	// BackscanDays is the length of the backscanning campaign, run at
+	// the end of the window (the paper ran one week in January 2023).
+	BackscanDays int
+}
+
+// DefaultConfig returns the paper-shaped study at moderate scale.
+func DefaultConfig() Config {
+	return Config{
+		Seed:          1,
+		Scale:         1.0,
+		Days:          218,
+		SliceDay:      157,
+		HitlistRounds: 4,
+		BackscanDays:  7,
+	}
+}
+
+// Study owns a full reproduction run: the simulated world, the passive
+// collection, the comparison datasets and every analysis.
+type Study struct {
+	Config Config
+	World  *simnet.World
+	Pool   *ntppool.Pool
+
+	// Collector holds the full passive corpus; DayCollector the
+	// single-day slice.
+	Collector    *collector.Collector
+	DayCollector *collector.Collector
+	DayStart     time.Time
+	RunStats     ntppool.RunStats
+
+	// NTP, Hitlist and CAIDA are the three Table 1 datasets. NTPDay is
+	// the single-day NTP slice used by Figures 4b and 5.
+	NTP     *hitlist.Dataset
+	NTPDay  *hitlist.Dataset
+	Hitlist *hitlist.ActiveResult
+	CAIDA   *hitlist.Dataset
+}
+
+// NewStudy builds the simulated Internet for a configuration.
+func NewStudy(cfg Config) (*Study, error) {
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("hitlist6: Days must be positive")
+	}
+	if cfg.SliceDay < 0 || cfg.SliceDay >= cfg.Days {
+		cfg.SliceDay = cfg.Days / 2
+	}
+	wcfg := simnet.DefaultConfig(cfg.Seed, cfg.Scale)
+	wcfg.Days = cfg.Days
+	w, err := simnet.Build(wcfg)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := ntppool.New(ntppool.StudyVantages())
+	if err != nil {
+		return nil, err
+	}
+	return &Study{
+		Config:   cfg,
+		World:    w,
+		Pool:     pool,
+		DayStart: w.Origin.AddDate(0, 0, cfg.SliceDay),
+	}, nil
+}
+
+// CollectPassive replays the study window's NTP traffic through the pool
+// into the collectors and materializes the NTP datasets.
+func (s *Study) CollectPassive() {
+	s.Collector = collector.New()
+	s.DayCollector = collector.New()
+	s.RunStats = ntppool.Run(s.World, s.Pool, s.Collector, s.DayCollector, s.DayStart)
+	s.NTP = hitlist.FromCollector("NTP Pool (passive)", s.Collector)
+	s.NTPDay = hitlist.FromCollector("NTP Pool (1-day slice)", s.DayCollector)
+}
+
+// BuildActive runs the two active campaigns: the IPv6-Hitlist-style
+// pipeline and the CAIDA routed-/48 campaign.
+func (s *Study) BuildActive() error {
+	acfg := hitlist.DefaultActiveConfig(s.World.Origin, s.World.End, uint64(s.Config.Seed)+0xac)
+	acfg.Rounds = s.Config.HitlistRounds
+	res, err := hitlist.BuildActiveHitlist(s.World, acfg)
+	if err != nil {
+		return err
+	}
+	s.Hitlist = res
+
+	caida, err := hitlist.BuildCAIDA48(s.World, hitlist.CAIDAConfig{
+		At:        s.World.Origin.AddDate(0, 0, min(30, s.Config.Days/2)),
+		SourceASN: 7922,
+		Seed:      uint64(s.Config.Seed) + 0xca1da,
+	})
+	if err != nil {
+		return err
+	}
+	s.CAIDA = caida
+	return nil
+}
+
+// Run executes the whole study: passive collection then both active
+// campaigns.
+func (s *Study) Run() error {
+	s.CollectPassive()
+	return s.BuildActive()
+}
+
+func (s *Study) requireDatasets() error {
+	if s.NTP == nil || s.Hitlist == nil || s.CAIDA == nil {
+		return fmt.Errorf("hitlist6: call Run (or CollectPassive+BuildActive) first")
+	}
+	return nil
+}
+
+// Table1 computes the dataset comparison (paper Table 1).
+func (s *Study) Table1() (*analysis.Table1, error) {
+	if err := s.requireDatasets(); err != nil {
+		return nil, err
+	}
+	return analysis.ComputeTable1(s.NTP, s.Hitlist.Dataset, s.CAIDA, s.World.ASDB), nil
+}
+
+// Figure1 computes the IID entropy CDFs of the three datasets and their
+// intersections.
+func (s *Study) Figure1() (*analysis.Figure1, error) {
+	if err := s.requireDatasets(); err != nil {
+		return nil, err
+	}
+	return analysis.ComputeFigure1(s.NTP, s.Hitlist.Dataset, s.CAIDA), nil
+}
+
+// Figure2a computes the address-lifetime CCDF.
+func (s *Study) Figure2a() (*analysis.Figure2a, error) {
+	if s.Collector == nil {
+		return nil, fmt.Errorf("hitlist6: passive collection has not run")
+	}
+	return analysis.ComputeFigure2a(s.Collector), nil
+}
+
+// Figure2b computes the IID-lifetime CDFs by entropy class.
+func (s *Study) Figure2b() (*analysis.Figure2b, error) {
+	if s.Collector == nil {
+		return nil, fmt.Errorf("hitlist6: passive collection has not run")
+	}
+	return analysis.ComputeFigure2b(s.Collector), nil
+}
+
+// Figure4a computes the per-AS entropy curves over the full window.
+func (s *Study) Figure4a(topN int) ([]analysis.ASEntropy, error) {
+	if s.NTP == nil {
+		return nil, fmt.Errorf("hitlist6: passive collection has not run")
+	}
+	return analysis.TopASEntropy(s.NTP, s.World.ASDB, topN), nil
+}
+
+// Figure4b computes the per-AS entropy curves for the single-day slice.
+func (s *Study) Figure4b(topN int) ([]analysis.ASEntropy, error) {
+	if s.NTPDay == nil {
+		return nil, fmt.Errorf("hitlist6: passive collection has not run")
+	}
+	return analysis.TopASEntropy(s.NTPDay, s.World.ASDB, topN), nil
+}
+
+// Strategies runs the §4.3 per-AS addressing-strategy inference over the
+// full NTP corpus (top-N ASes).
+func (s *Study) Strategies(topN int) ([]analysis.StrategyProfile, error) {
+	if s.NTP == nil {
+		return nil, fmt.Errorf("hitlist6: passive collection has not run")
+	}
+	return analysis.InferStrategies(s.NTP, s.World.ASDB, topN), nil
+}
+
+// Figure5 computes the seven-category addressing breakdown of the NTP
+// day slice versus the active hitlist.
+func (s *Study) Figure5() (*analysis.Figure5, error) {
+	if err := s.requireDatasets(); err != nil {
+		return nil, err
+	}
+	return analysis.ComputeFigure5(s.NTPDay, s.Hitlist.Dataset, s.World.ASDB), nil
+}
+
+// poolAdapter bridges the ntppool geo selector to scan.PoolSelector.
+type poolAdapter struct{ p *ntppool.Pool }
+
+func (a poolAdapter) Select(country string) int { return a.p.Select(country).ID }
+
+// Backscan runs the §4.2 backscanning campaign over the final
+// BackscanDays of the window and returns its statistics together with
+// Figure 3's entropy distributions.
+func (s *Study) Backscan() (*scan.BackscanStats, error) {
+	days := s.Config.BackscanDays
+	if days <= 0 {
+		days = 7
+	}
+	start := s.World.End.AddDate(0, 0, -days)
+	if start.Before(s.World.Origin) {
+		start = s.World.Origin
+	}
+	cfg := scan.DefaultBackscanConfig(start, s.World.End, s.Config.Seed+0xb5)
+	return scan.Backscan(s.World, poolAdapter{s.Pool}, cfg), nil
+}
+
+// Figure3 derives the hit/miss/random entropy distributions from a
+// backscan campaign.
+func Figure3(stats *scan.BackscanStats) (hit, miss, random []float64) {
+	for _, o := range stats.Outcomes {
+		e := o.Client.IID().NormalizedEntropy()
+		if o.ClientResponded {
+			hit = append(hit, e)
+		} else {
+			miss = append(miss, e)
+		}
+		if o.RandomResponded {
+			random = append(random, o.Random.IID().NormalizedEntropy())
+		}
+	}
+	return hit, miss, random
+}
+
+// DetectOutages runs the passive outage detector (a §1 application of
+// large hitlists) over the study's query stream with the given bin width.
+func (s *Study) DetectOutages(bin time.Duration) ([]outage.Event, error) {
+	series, err := outage.BuildSeries(s.World, bin)
+	if err != nil {
+		return nil, err
+	}
+	return outage.Detect(series, outage.DefaultConfig()), nil
+}
+
+// Tracking runs the §5.1/§5.2 EUI-64 analysis over the passive corpus.
+func (s *Study) Tracking() (*tracking.Analysis, error) {
+	if s.Collector == nil {
+		return nil, fmt.Errorf("hitlist6: passive collection has not run")
+	}
+	return tracking.Analyze(s.Collector, s.World.ASDB, s.World.Geo, s.World.OUI), nil
+}
+
+// GeolocationResult is the §5.3 outcome.
+type GeolocationResult struct {
+	// WiredMACs is how many unique EUI-64 MACs were available as input.
+	WiredMACs int
+	// Offsets are the inferred per-OUI wired-to-wireless offsets.
+	Offsets []geoloc.OffsetCandidate
+	// Located are the successful linkages.
+	Located []geoloc.Geolocated
+	// Countries tallies located devices per (reverse-geocoded) country.
+	Countries map[string]int
+}
+
+// Geolocation runs the §5.3 pipeline: build the wardriving database from
+// the world, infer per-OUI offsets from the corpus's EUI-64 MACs, and
+// link them to geolocated BSSIDs. minPairs scales the paper's 500-pair
+// threshold; pass 0 for an automatic corpus-proportional choice.
+func (s *Study) Geolocation(minPairs int) (*GeolocationResult, error) {
+	tr, err := s.Tracking()
+	if err != nil {
+		return nil, err
+	}
+	wired := make([]addr.MAC, 0, len(tr.MACs))
+	for _, m := range tr.MACs {
+		wired = append(wired, m.MAC)
+	}
+	if minPairs <= 0 {
+		minPairs = len(wired) / 500
+		if minPairs < 3 {
+			minPairs = 3
+		}
+	}
+	wdb := wigle.Build(s.World, wigle.DefaultBuildConfig(s.Config.Seed+0x919))
+	offsets := geoloc.InferOffsets(wired, wdb, minPairs)
+	located := geoloc.Apply(wired, offsets, wdb)
+	return &GeolocationResult{
+		WiredMACs: len(wired),
+		Offsets:   offsets,
+		Located:   located,
+		Countries: geoloc.CountryCount(located, wigle.NearestCountry),
+	}, nil
+}

@@ -1,0 +1,52 @@
+package hitlist6
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := runStudy(t, 11)
+	sm, err := s.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.UniqueAddrs != s.Collector.NumAddrs() {
+		t.Errorf("unique addrs: %d", sm.UniqueAddrs)
+	}
+	if sm.Table1.NTPAddrs != s.NTP.Len() {
+		t.Errorf("ntp addrs: %d", sm.Table1.NTPAddrs)
+	}
+	if sm.Entropy.NTPMedian <= sm.Entropy.CAIDAMedian {
+		t.Error("entropy ordering lost in summary")
+	}
+	var shareSum float64
+	for _, v := range sm.Tracking.ClassShares {
+		shareSum += v
+	}
+	if sm.Tracking.Trackable > 0 && (shareSum < 0.99 || shareSum > 1.01) {
+		t.Errorf("class shares sum: %v", shareSum)
+	}
+
+	raw, err := sm.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+	if back.Table1.NTPAddrs != sm.Table1.NTPAddrs {
+		t.Error("JSON round trip lost data")
+	}
+}
+
+func TestSummarizeRequiresRun(t *testing.T) {
+	s, err := NewStudy(testConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Summarize(); err == nil {
+		t.Error("Summarize before Run should fail")
+	}
+}
