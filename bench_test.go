@@ -10,6 +10,7 @@ package hitlist6
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -94,6 +95,28 @@ func BenchmarkPassiveCollection(b *testing.B) {
 	}
 	b.ReportMetric(float64(s.Collector.NumAddrs()), "addrs")
 	b.ReportMetric(float64(s.RunStats.Queries), "queries")
+}
+
+// BenchmarkPassiveCollectionSharded measures the full passive replay at
+// increasing ingest shard counts (see internal/ingest for the pure
+// pipeline benchmarks over a pre-materialized stream; this one includes
+// query generation and pool selection on the producer side).
+func BenchmarkPassiveCollectionSharded(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.IngestShards = shards
+			s, err := NewStudy(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.CollectPassive()
+			}
+			b.ReportMetric(float64(s.RunStats.Queries)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
 }
 
 func BenchmarkActiveHitlistBuild(b *testing.B) {

@@ -1,0 +1,264 @@
+// Command ingestd runs the sharded ingest pipeline as a daemon: it
+// consumes an NTP query-event stream — a file (or stdin), a UDP socket,
+// or a simulated replay — fans it out across collector shards with
+// inline enrichment (addressing categories, HyperLogLog cardinality),
+// and serves live summary statistics over HTTP. It is the
+// single-vantage deployment shape of the paper's 27-server passive
+// collection: one ingestd per pool server, snapshots merging into the
+// live store that the stats endpoint reads.
+//
+// Event lines are `<unix-seconds> <ipv6-address> [<server-index>]`.
+//
+// Usage:
+//
+//	ingestd -file events.log            # replay a file, then keep serving
+//	ingestd -file -                     # read stdin
+//	ingestd -udp :9123                  # ingest datagrams of event lines
+//	ingestd -sim -sim.scale 0.1         # generate a simnet replay stream
+//
+// Then:
+//
+//	curl http://localhost:8629/stats
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"time"
+
+	"hitlist6/internal/addr"
+	"hitlist6/internal/collector"
+	"hitlist6/internal/ingest"
+	"hitlist6/internal/ntppool"
+	"hitlist6/internal/simnet"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8629", "HTTP stats listen address")
+		file     = flag.String("file", "", "event file to replay ('-' for stdin)")
+		udp      = flag.String("udp", "", "UDP listen address for event datagrams")
+		sim      = flag.Bool("sim", false, "generate a simnet replay stream instead of external input")
+		simScale = flag.Float64("sim.scale", 0.1, "simnet population scale")
+		simDays  = flag.Int("sim.days", 30, "simnet study window in days")
+		simSeed  = flag.Int64("sim.seed", 1, "simnet world seed")
+		shards   = flag.Int("shards", 0, "collector shards (0 = one per CPU, capped at 8)")
+		batch    = flag.Int("batch", 0, "events per batch (0 = default)")
+		queue    = flag.Int("queue", 0, "per-shard queue depth in batches (0 = default)")
+		drop     = flag.Bool("drop", false, "shed events when a shard queue is full instead of blocking")
+		snapshot = flag.Duration("snapshot", 2*time.Second, "live-view snapshot interval")
+		hllPrec  = flag.Uint("hll", 14, "HyperLogLog precision (4-16)")
+		serverCp = flag.Int("servers", collector.MaxServers, "vantage-server attribution cap")
+	)
+	flag.Parse()
+
+	sources := 0
+	for _, on := range []bool{*file != "", *udp != "", *sim} {
+		if on {
+			sources++
+		}
+	}
+	if sources != 1 {
+		fmt.Fprintln(os.Stderr, "ingestd: exactly one of -file, -udp, -sim required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *hllPrec < 4 || *hllPrec > 16 {
+		fmt.Fprintf(os.Stderr, "ingestd: -hll %d out of [4,16]\n", *hllPrec)
+		os.Exit(2)
+	}
+
+	cfg := ingest.Config{
+		Shards:           *shards,
+		BatchSize:        *batch,
+		QueueDepth:       *queue,
+		DropOnFull:       *drop,
+		SnapshotInterval: *snapshot,
+		ServerCap:        *serverCp,
+		Stages: []ingest.StageFactory{
+			ingest.Categories(),
+			ingest.Cardinality(uint8(*hllPrec)),
+		},
+	}
+	pipe, err := ingest.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ingestd:", err)
+		os.Exit(1)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(buildStats(pipe)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	httpLn, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ingestd: listen:", err)
+		os.Exit(1)
+	}
+	go func() {
+		if err := http.Serve(httpLn, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "ingestd: http:", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "ingestd: %d shards, stats on http://%s/stats\n",
+		pipe.NumShards(), httpLn.Addr())
+
+	var badLines atomic.Uint64
+	switch {
+	case *file != "":
+		if err := ingestFile(pipe, *file, &badLines); err != nil {
+			fmt.Fprintln(os.Stderr, "ingestd:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ingestd: stream done (%d malformed lines); serving stats, ^C to exit\n", badLines.Load())
+	case *sim:
+		go func() {
+			n := simReplay(pipe, *simSeed, *simScale, *simDays)
+			pipe.SnapshotNow()
+			fmt.Fprintf(os.Stderr, "ingestd: sim replay done (%d events); serving stats, ^C to exit\n", n)
+		}()
+	case *udp != "":
+		conn, err := net.ListenPacket("udp", *udp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ingestd: udp:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ingestd: ingesting event datagrams on %s\n", conn.LocalAddr())
+		go ingestUDP(pipe, conn, &badLines)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+
+	m := pipe.Metrics()
+	fmt.Fprintf(os.Stderr, "\ningestd: %d processed, %d dropped, %d malformed; unique addrs %d\n",
+		m.Processed, m.Dropped, badLines.Load(), pipe.Store().NumAddrs())
+}
+
+// statsReply is the /stats JSON shape.
+type statsReply struct {
+	Shards       int                    `json:"shards"`
+	Metrics      ingest.MetricsSnapshot `json:"metrics"`
+	UniqueAddrs  int                    `json:"unique_addrs"`
+	UniqueIIDs   int                    `json:"unique_iids"`
+	Observations uint64                 `json:"observations"`
+	HLLEstimate  float64                `json:"hll_estimate"`
+	Categories   map[string]uint64      `json:"categories"`
+}
+
+func buildStats(pipe *ingest.Pipeline) statsReply {
+	reply := statsReply{
+		Shards:       pipe.NumShards(),
+		Metrics:      pipe.Metrics(),
+		UniqueAddrs:  pipe.Store().NumAddrs(),
+		UniqueIIDs:   pipe.Store().NumIIDs(),
+		Observations: pipe.Store().TotalObservations(),
+		Categories:   make(map[string]uint64),
+	}
+	pipe.StageView(func(stages []ingest.Stage) {
+		for _, st := range stages {
+			switch s := st.(type) {
+			case *ingest.HLLStage:
+				reply.HLLEstimate = s.H.Estimate()
+			case *ingest.CategoryStage:
+				for c, n := range s.Counts {
+					if n > 0 {
+						reply.Categories[addr.Category(c).String()] = n
+					}
+				}
+			}
+		}
+	})
+	return reply
+}
+
+func ingestFile(pipe *ingest.Pipeline, path string, badLines *atomic.Uint64) error {
+	in := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	b := pipe.NewBatcher()
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<16), 1<<16)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		ev, err := ingest.ParseEvent(line)
+		if err != nil {
+			badLines.Add(1)
+			continue
+		}
+		b.Add(ev)
+	}
+	b.Flush()
+	pipe.SnapshotNow()
+	return sc.Err()
+}
+
+func ingestUDP(pipe *ingest.Pipeline, conn net.PacketConn, badLines *atomic.Uint64) {
+	b := pipe.NewBatcher()
+	buf := make([]byte, 1<<16)
+	for {
+		n, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ingestd: udp read:", err)
+			return
+		}
+		for _, line := range bytes.Split(buf[:n], []byte{'\n'}) {
+			if len(line) == 0 || line[0] == '#' {
+				continue
+			}
+			ev, err := ingest.ParseEvent(string(line))
+			if err != nil {
+				badLines.Add(1)
+				continue
+			}
+			b.Add(ev)
+		}
+		// Datagram boundaries are natural flush points: the live view
+		// should never lag more than one read behind the wire.
+		b.Flush()
+	}
+}
+
+// simReplay builds a simulated world and streams its NTP queries
+// through the paper's pool selection into the pipeline, as a
+// self-contained demo and load generator.
+func simReplay(pipe *ingest.Pipeline, seed int64, scale float64, days int) uint64 {
+	wcfg := simnet.DefaultConfig(seed, scale)
+	wcfg.Days = days
+	w, err := simnet.Build(wcfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ingestd: sim:", err)
+		return 0
+	}
+	pool, err := ntppool.New(ntppool.StudyVantages())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ingestd: sim:", err)
+		return 0
+	}
+	stats := ntppool.RunIngest(w, pool, pipe)
+	return stats.Queries
+}

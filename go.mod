@@ -1,0 +1,3 @@
+module hitlist6
+
+go 1.24

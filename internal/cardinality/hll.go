@@ -54,9 +54,10 @@ func (h *HLL) AddUint64(v uint64) {
 	}
 }
 
-// AddAddr inserts an IPv6 address (both halves contribute).
+// AddAddr inserts an IPv6 address (both halves contribute via
+// addr.Hash64).
 func (h *HLL) AddAddr(a addr.Addr) {
-	h.AddUint64(mix(a.Hi()) ^ bits.RotateLeft64(mix(a.Lo()), 31))
+	h.AddUint64(a.Hash64())
 }
 
 // Estimate returns the approximate number of distinct items inserted,

@@ -1,0 +1,93 @@
+package collector
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+	"sort"
+
+	"hitlist6/internal/addr"
+)
+
+// WriteCanonical writes a deterministic binary encoding of the corpus:
+// every (address, record) pair sorted by address, then every (IID,
+// record) pair sorted by IID with per-/64 spans sorted by prefix. Two
+// collectors hold identical observations if and only if their canonical
+// encodings are byte-identical — regardless of insertion order, shard
+// count or merge schedule. This is the ground truth the sharded-ingest
+// equivalence tests assert on.
+func (c *Collector) WriteCanonical(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var scratch [8]byte
+	putU64 := func(v uint64) {
+		binary.BigEndian.PutUint64(scratch[:], v)
+		bw.Write(scratch[:])
+	}
+
+	putU64(c.total)
+
+	addrs := make([]addr.Addr, 0, len(c.addrs))
+	for a := range c.addrs {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		ai, aj := addrs[i], addrs[j]
+		if hi, hj := ai.Hi(), aj.Hi(); hi != hj {
+			return hi < hj
+		}
+		return ai.Lo() < aj.Lo()
+	})
+	putU64(uint64(len(addrs)))
+	for _, a := range addrs {
+		r := c.addrs[a]
+		bw.Write(a[:])
+		putU64(uint64(r.First))
+		putU64(uint64(r.Last))
+		putU64(uint64(r.Count))
+		putU64(uint64(r.Servers))
+	}
+
+	iids := make([]addr.IID, 0, len(c.iids))
+	for iid := range c.iids {
+		iids = append(iids, iid)
+	}
+	sort.Slice(iids, func(i, j int) bool { return iids[i] < iids[j] })
+	putU64(uint64(len(iids)))
+	for _, iid := range iids {
+		r := c.iids[iid]
+		putU64(uint64(iid))
+		putU64(uint64(r.First))
+		putU64(uint64(r.Last))
+		putU64(uint64(r.Count))
+		if r.P64s == nil {
+			putU64(0xffffffffffffffff)
+			continue
+		}
+		p64s := make([]addr.Prefix64, 0, len(r.P64s))
+		for p := range r.P64s {
+			p64s = append(p64s, p)
+		}
+		sort.Slice(p64s, func(i, j int) bool { return uint64(p64s[i]) < uint64(p64s[j]) })
+		putU64(uint64(len(p64s)))
+		for _, p := range p64s {
+			sp := r.P64s[p]
+			putU64(uint64(p))
+			putU64(uint64(sp.First))
+			putU64(uint64(sp.Last))
+		}
+	}
+	return bw.Flush()
+}
+
+// Checksum returns the SHA-256 of the canonical encoding: a compact
+// fingerprint for asserting two corpora are observation-identical.
+func (c *Collector) Checksum() [32]byte {
+	h := sha256.New()
+	// sha256.Write never fails; WriteCanonical only surfaces its writer's
+	// errors.
+	_ = c.WriteCanonical(h)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

@@ -16,6 +16,26 @@ import (
 	"hitlist6/internal/addr"
 )
 
+// MaxServers is the number of distinct vantage-server bits an AddrRecord
+// can hold: Servers is a uint32 bitmask, so indices 0..MaxServers-1 each
+// get their own bit. The paper's deployment ran 27 servers; deployments
+// beyond MaxServers saturate onto the top bit (see ServerBit) rather than
+// silently shifting out of range.
+const MaxServers = 32
+
+// ServerBit maps a vantage-server index to its Servers-mask bit.
+// Indices >= MaxServers saturate to the top bit (MaxServers-1); negative
+// indices mean "no vantage attribution" and return 0.
+func ServerBit(server int) uint32 {
+	if server < 0 {
+		return 0
+	}
+	if server >= MaxServers {
+		server = MaxServers - 1
+	}
+	return 1 << uint(server)
+}
+
 // AddrRecord summarizes all sightings of one source address.
 type AddrRecord struct {
 	// First and Last are Unix seconds of the first and last sighting.
@@ -69,16 +89,16 @@ func New() *Collector {
 }
 
 // Observe records one sighting of a at time t from the given vantage
-// server index (0-based; indexes >= 32 share the top bit).
+// server index (0-based; indexes >= MaxServers saturate onto the top bit).
 func (c *Collector) Observe(a addr.Addr, t time.Time, server int) {
-	ts := t.Unix()
-	var serverBit uint32
-	if server >= 0 {
-		if server > 31 {
-			server = 31
-		}
-		serverBit = 1 << uint(server)
-	}
+	c.ObserveUnix(a, t.Unix(), server)
+}
+
+// ObserveUnix is Observe with a pre-converted Unix-seconds timestamp: the
+// form the ingest pipeline's Event carries, avoiding a time.Time round
+// trip per sighting on the hot path.
+func (c *Collector) ObserveUnix(a addr.Addr, ts int64, server int) {
+	serverBit := ServerBit(server)
 	c.total++
 
 	if r, ok := c.addrs[a]; ok {

@@ -1,0 +1,71 @@
+package ingest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hitlist6/internal/addr"
+)
+
+// Event is one NTP query sighting entering the pipeline: the client's
+// source address, the Unix-seconds timestamp, and the vantage server
+// that saw it (-1 when the stream carries no vantage attribution).
+type Event struct {
+	Addr   addr.Addr
+	Time   int64
+	Server int32
+}
+
+// shardOf maps an address to its shard via addr.Hash64. All sightings
+// of one address land on one shard, which is what makes per-shard state
+// lock-free and the merged result independent of the shard count.
+func shardOf(a addr.Addr, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(a.Hash64() % uint64(shards))
+}
+
+// ParseEvent decodes the pipeline's text framing, one event per line:
+//
+//	<unix-seconds> <ipv6-address> [<server-index>]
+//
+// A missing server index means no vantage attribution (-1). This is the
+// format `ingestd` accepts on files, stdin and UDP datagrams.
+func ParseEvent(line string) (Event, error) {
+	var ev Event
+	fields := strings.Fields(line)
+	if len(fields) < 2 || len(fields) > 3 {
+		return ev, fmt.Errorf("ingest: want 'ts addr [server]', got %q", line)
+	}
+	ts, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return ev, fmt.Errorf("ingest: bad timestamp %q: %v", fields[0], err)
+	}
+	a, err := addr.Parse(fields[1])
+	if err != nil {
+		return ev, err
+	}
+	server := int64(-1)
+	if len(fields) == 3 {
+		server, err = strconv.ParseInt(fields[2], 10, 32)
+		if err != nil {
+			return ev, fmt.Errorf("ingest: bad server %q: %v", fields[2], err)
+		}
+	}
+	return Event{Addr: a, Time: ts, Server: int32(server)}, nil
+}
+
+// AppendText appends the event in ParseEvent's line format (with
+// trailing newline) — the writer side of the stream codec.
+func (e Event) AppendText(dst []byte) []byte {
+	dst = strconv.AppendInt(dst, e.Time, 10)
+	dst = append(dst, ' ')
+	dst = append(dst, e.Addr.String()...)
+	if e.Server >= 0 {
+		dst = append(dst, ' ')
+		dst = strconv.AppendInt(dst, int64(e.Server), 10)
+	}
+	return append(dst, '\n')
+}

@@ -1,0 +1,307 @@
+package ingest
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"hitlist6/internal/addr"
+	"hitlist6/internal/asdb"
+	"hitlist6/internal/collector"
+	"hitlist6/internal/simnet"
+)
+
+// testEvents materializes a small deterministic event stream with
+// vantage indices spread over [0, 27).
+func testEvents(t testing.TB, scale float64, days int) []Event {
+	t.Helper()
+	cfg := simnet.DefaultConfig(17, scale)
+	cfg.Days = days
+	w, err := simnet.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	i := 0
+	w.GenerateQueries(func(q simnet.Query) {
+		events = append(events, Event{
+			Addr:   q.Addr,
+			Time:   q.Time.Unix(),
+			Server: int32(i % 27),
+		})
+		i++
+	})
+	if len(events) == 0 {
+		t.Fatal("no events generated")
+	}
+	return events
+}
+
+// serialChecksum folds the stream into one collector the pre-pipeline
+// way and returns its canonical checksum.
+func serialChecksum(events []Event) [32]byte {
+	c := collector.New()
+	for _, ev := range events {
+		c.ObserveUnix(ev.Addr, ev.Time, int(ev.Server))
+	}
+	return c.Checksum()
+}
+
+func TestPipelineMatchesSerial(t *testing.T) {
+	events := testEvents(t, 0.03, 10)
+	want := serialChecksum(events)
+
+	for _, shards := range []int{1, 3, 8} {
+		cfg := DefaultConfig(shards)
+		cfg.BatchSize = 64
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Ingest(events)
+		merged := p.Close()
+		if got := merged.Checksum(); got != want {
+			t.Errorf("shards=%d: merged corpus differs from serial", shards)
+		}
+		if merged.TotalObservations() != uint64(len(events)) {
+			t.Errorf("shards=%d: %d observations, want %d",
+				shards, merged.TotalObservations(), len(events))
+		}
+		m := p.Metrics()
+		if m.Processed != uint64(len(events)) || m.Enqueued != uint64(len(events)) {
+			t.Errorf("shards=%d: metrics processed=%d enqueued=%d, want %d",
+				shards, m.Processed, m.Enqueued, len(events))
+		}
+		if m.Dropped != 0 {
+			t.Errorf("shards=%d: %d drops under blocking admission", shards, m.Dropped)
+		}
+	}
+}
+
+func TestSnapshotNowLiveView(t *testing.T) {
+	events := testEvents(t, 0.03, 10)
+	p, err := New(DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Ingest(events[:len(events)/2])
+	p.SnapshotNow()
+	// The merge is asynchronous after the shard handoff; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Store().TotalObservations() < uint64(len(events)/2) {
+		if time.Now().After(deadline) {
+			t.Fatalf("live store stuck at %d/%d observations",
+				p.Store().TotalObservations(), len(events)/2)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Ingest(events[len(events)/2:])
+	merged := p.Close()
+	if merged.TotalObservations() != uint64(len(events)) {
+		t.Errorf("final observations %d, want %d",
+			merged.TotalObservations(), len(events))
+	}
+	if got, want := merged.Checksum(), serialChecksum(events); got != want {
+		t.Error("mid-run snapshot changed the final corpus")
+	}
+}
+
+func TestStages(t *testing.T) {
+	events := testEvents(t, 0.03, 10)
+	day0 := events[0].Time
+	dayEnd := day0 + 86400
+
+	cfg := DefaultConfig(4)
+	cfg.Stages = []StageFactory{
+		Categories(),
+		Cardinality(12),
+		DaySlice(day0, dayEnd),
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Ingest(events)
+	merged := p.Close()
+
+	// Categories: per-sighting tally must equal a direct pass.
+	var want [addr.NumCategories]uint64
+	for _, ev := range events {
+		want[ev.Addr.IID().StructuralCategory()]++
+	}
+	cats := p.Stage("categories").(*CategoryStage)
+	if cats.Counts != want {
+		t.Errorf("category counts %v, want %v", cats.Counts, want)
+	}
+
+	// Cardinality: the merged union sketch must estimate the exact
+	// unique-address count within a loose multiple of its stated error.
+	hll := p.Stage("cardinality").(*HLLStage)
+	exact := float64(merged.NumAddrs())
+	est := hll.H.Estimate()
+	if rel := math.Abs(est-exact) / exact; rel > 5*hll.H.RelativeError() {
+		t.Errorf("HLL estimate %.0f vs exact %.0f: rel err %.3f", est, exact, rel)
+	}
+
+	// Day slice: identical to a serially filtered collector.
+	serialDay := collector.New()
+	for _, ev := range events {
+		if ev.Time >= day0 && ev.Time < dayEnd {
+			serialDay.ObserveUnix(ev.Addr, ev.Time, int(ev.Server))
+		}
+	}
+	if serialDay.TotalObservations() == 0 {
+		t.Fatal("day slice empty; bad test window")
+	}
+	day := p.Stage("dayslice").(*DaySliceStage)
+	if got, want := day.Col.Checksum(), serialDay.Checksum(); got != want {
+		t.Error("day-slice corpus differs from serial filter")
+	}
+
+	if p.Stage("no-such-stage") != nil {
+		t.Error("unknown stage name should return nil")
+	}
+}
+
+func TestASNStage(t *testing.T) {
+	db := asdb.NewDB()
+	if err := db.AddAS(asdb.AS{ASN: 64500, Name: "Test Net", Prefixes: []addr.Prefix{
+		addr.MustPrefix(addr.MustParse("2001:db8::"), 32),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig(4)
+	cfg.Stages = []StageFactory{ASNs(db)}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Ingest([]Event{
+		{Addr: addr.MustParse("2001:db8::1"), Time: 1000, Server: 0},
+		{Addr: addr.MustParse("2001:db8:1::2"), Time: 1001, Server: 1},
+		{Addr: addr.MustParse("2a02::1"), Time: 1002, Server: 2}, // unrouted
+	})
+	p.Close()
+
+	asns := p.Stage("asns").(*ASNStage)
+	if asns.Counts[64500] != 2 {
+		t.Errorf("AS64500 count %d, want 2", asns.Counts[64500])
+	}
+	if asns.Counts[0] != 1 {
+		t.Errorf("unrouted count %d, want 1", asns.Counts[0])
+	}
+}
+
+func TestServerCapSaturation(t *testing.T) {
+	a := addr.MustParse("2001:db8::1")
+	cfg := DefaultConfig(1)
+	cfg.ServerCap = 8
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Ingest([]Event{
+		{Addr: a, Time: 1000, Server: 3},
+		{Addr: a, Time: 1001, Server: 40}, // beyond the cap: saturates to 7
+		{Addr: a, Time: 1002, Server: -1}, // unattributed: no bit
+	})
+	merged := p.Close()
+	r := merged.Get(a)
+	if r == nil {
+		t.Fatal("address not recorded")
+	}
+	want := collector.ServerBit(3) | collector.ServerBit(7)
+	if r.Servers != want {
+		t.Errorf("server mask %#x, want %#x", r.Servers, want)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, bad := range []Config{
+		{Shards: -1},
+		{BatchSize: -2},
+		{QueueDepth: -3},
+		{ServerCap: collector.MaxServers + 1},
+	} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("config %+v should be rejected", bad)
+		}
+	}
+}
+
+// gateStage blocks the first Process call until released: a way to wedge
+// a shard worker so admission-policy behaviour is deterministic, and a
+// proof the Stage plug point accepts outside implementations.
+type gateStage struct {
+	once    sync.Once
+	release chan struct{}
+}
+
+func (g *gateStage) Name() string { return "gate" }
+func (g *gateStage) Process(Event) {
+	g.once.Do(func() { <-g.release })
+}
+func (g *gateStage) Merge(Stage) {}
+
+func TestDropOnFullShedsLoad(t *testing.T) {
+	gate := &gateStage{release: make(chan struct{})}
+	cfg := Config{
+		Shards:     1,
+		BatchSize:  1,
+		QueueDepth: 1,
+		DropOnFull: true,
+		Stages:     []StageFactory{func() Stage { return gate }},
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := addr.MustParse("2001:db8::42")
+	b := p.NewBatcher()
+	// First event wedges the worker; second fills the queue; everything
+	// after must be shed rather than block this goroutine.
+	for i := 0; i < 10; i++ {
+		b.Add(Event{Addr: a, Time: int64(1000 + i), Server: 0})
+	}
+	b.Flush()
+	m := p.Metrics()
+	if m.Dropped == 0 {
+		t.Error("no drops despite a wedged shard and full queue")
+	}
+	if m.Enqueued+m.Dropped != 10 {
+		t.Errorf("enqueued %d + dropped %d != 10", m.Enqueued, m.Dropped)
+	}
+	close(gate.release)
+	merged := p.Close()
+	if got := merged.TotalObservations(); got != m.Enqueued {
+		t.Errorf("merged %d observations, want the %d admitted", got, m.Enqueued)
+	}
+}
+
+func TestParseEventRoundTrip(t *testing.T) {
+	cases := []Event{
+		{Addr: addr.MustParse("2001:db8::1"), Time: 1643673600, Server: 0},
+		{Addr: addr.MustParse("2a02:8071:22c1:d800:beee:7bff:fe00:1"), Time: 1656633600, Server: 26},
+		{Addr: addr.MustParse("::1"), Time: 0, Server: -1},
+	}
+	for _, want := range cases {
+		line := want.AppendText(nil)
+		got, err := ParseEvent(string(line[:len(line)-1]))
+		if err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+		if got != want {
+			t.Errorf("round trip %q: got %+v want %+v", line, got, want)
+		}
+	}
+	for _, bad := range []string{
+		"", "1234", "x 2001:db8::1", "1234 not-an-addr",
+		"1234 2001:db8::1 banana", "1 2 3 4",
+	} {
+		if _, err := ParseEvent(bad); err == nil {
+			t.Errorf("ParseEvent(%q) should fail", bad)
+		}
+	}
+}

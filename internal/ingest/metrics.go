@@ -1,0 +1,55 @@
+package ingest
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the pipeline's atomic counter block, updated lock-free by
+// producers and shard workers and readable at any time.
+type Metrics struct {
+	enqueued  atomic.Uint64 // events admitted into shard queues
+	dropped   atomic.Uint64 // events shed at admission (DropOnFull)
+	processed atomic.Uint64 // events folded into shard state
+	batches   atomic.Uint64 // batches handed to shard queues
+	snapshots atomic.Uint64 // shard snapshots merged into the store
+	start     time.Time
+}
+
+// MetricsSnapshot is a point-in-time reading, JSON-shaped for stat
+// endpoints.
+type MetricsSnapshot struct {
+	Enqueued      uint64  `json:"enqueued"`
+	Dropped       uint64  `json:"dropped"`
+	Processed     uint64  `json:"processed"`
+	Batches       uint64  `json:"batches"`
+	Snapshots     uint64  `json:"snapshots"`
+	QueuedBatches int     `json:"queued_batches"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+}
+
+// Metrics returns a point-in-time reading of the counter block.
+// EventsPerSec is the lifetime average processing rate; QueuedBatches
+// sums the current depth of every shard queue (the backpressure
+// signal).
+func (p *Pipeline) Metrics() MetricsSnapshot {
+	depth := 0
+	for _, s := range p.shards {
+		depth += len(s.in)
+	}
+	processed := p.metrics.processed.Load()
+	elapsed := time.Since(p.metrics.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(processed) / elapsed
+	}
+	return MetricsSnapshot{
+		Enqueued:      p.metrics.enqueued.Load(),
+		Dropped:       p.metrics.dropped.Load(),
+		Processed:     processed,
+		Batches:       p.metrics.batches.Load(),
+		Snapshots:     p.metrics.snapshots.Load(),
+		QueuedBatches: depth,
+		EventsPerSec:  rate,
+	}
+}

@@ -1,0 +1,331 @@
+package ingest
+
+import (
+	"sync"
+	"time"
+
+	"hitlist6/internal/collector"
+)
+
+// Pipeline is the sharded ingestion engine. Producers obtain Batchers
+// and push Events; each event hashes to one of N shards, whose worker
+// goroutine folds it into a private collector plus the configured
+// enrichment stages, entirely lock-free. Snapshots (periodic, on
+// demand, and at Close) hand the private state to a single merger
+// goroutine that folds it into the Store — the one writer the
+// concurrency model allows — so readers always have a consistent,
+// slightly-stale corpus without ever touching the hot path.
+type Pipeline struct {
+	cfg   Config
+	store *collector.Store
+
+	shards []*shard
+	merge  chan shardSnapshot
+
+	// mergedStages[i] accumulates every shard's instance of
+	// cfg.Stages[i]; guarded by stageMu (written by the merger, read by
+	// StageView).
+	stageMu      sync.Mutex
+	mergedStages []Stage
+
+	metrics Metrics
+
+	workersWG sync.WaitGroup
+	mergerWG  sync.WaitGroup
+	tickerWG  sync.WaitGroup
+	stopTick  chan struct{}
+
+	closeOnce sync.Once
+	result    *collector.Collector
+
+	batchPool sync.Pool
+}
+
+// shard is one worker's private world: its inbound batch queue, a
+// snapshot doorbell, and the lock-free state it owns.
+type shard struct {
+	in     chan []Event
+	snap   chan chan struct{}
+	col    *collector.Collector
+	stages []Stage
+}
+
+// shardSnapshot is the unit handed to the merger goroutine.
+type shardSnapshot struct {
+	col    *collector.Collector
+	stages []Stage
+}
+
+// New builds and starts a pipeline. The returned pipeline is running:
+// obtain Batchers (or call Ingest) to feed it, and Close to finish.
+func New(cfg Config) (*Pipeline, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		cfg:      cfg,
+		store:    collector.NewStore(),
+		merge:    make(chan shardSnapshot, cfg.Shards),
+		stopTick: make(chan struct{}),
+	}
+	p.metrics.start = time.Now()
+	p.batchPool.New = func() any {
+		return make([]Event, 0, cfg.BatchSize)
+	}
+	p.mergedStages = make([]Stage, len(cfg.Stages))
+	for i, f := range cfg.Stages {
+		p.mergedStages[i] = f()
+	}
+	p.shards = make([]*shard, cfg.Shards)
+	for i := range p.shards {
+		s := &shard{
+			in:   make(chan []Event, cfg.QueueDepth),
+			snap: make(chan chan struct{}, 1),
+			col:  collector.New(),
+		}
+		s.stages = make([]Stage, len(cfg.Stages))
+		for j, f := range cfg.Stages {
+			s.stages[j] = f()
+		}
+		p.shards[i] = s
+		p.workersWG.Add(1)
+		go p.runShard(s)
+	}
+	p.mergerWG.Add(1)
+	go p.runMerger()
+	if cfg.SnapshotInterval > 0 {
+		p.tickerWG.Add(1)
+		go p.runTicker(cfg.SnapshotInterval)
+	}
+	return p, nil
+}
+
+// Store returns the live merged view. It is empty until the first
+// snapshot lands (SnapshotInterval, SnapshotNow, or Close).
+func (p *Pipeline) Store() *collector.Store { return p.store }
+
+// NumShards returns the shard count in effect.
+func (p *Pipeline) NumShards() int { return len(p.shards) }
+
+// runShard is one worker loop: drain batches, fold events, answer
+// snapshot doorbells.
+func (p *Pipeline) runShard(s *shard) {
+	defer p.workersWG.Done()
+	for {
+		select {
+		case batch, ok := <-s.in:
+			if !ok {
+				// Producer side closed: push the final state and exit.
+				p.merge <- shardSnapshot{col: s.col, stages: s.stages}
+				s.col, s.stages = nil, nil
+				return
+			}
+			p.processBatch(s, batch)
+		case done := <-s.snap:
+			// Drain already-queued batches first so everything flushed
+			// before SnapshotNow was called is part of the handoff.
+		drain:
+			for {
+				select {
+				case batch, ok := <-s.in:
+					if !ok {
+						close(done)
+						p.merge <- shardSnapshot{col: s.col, stages: s.stages}
+						s.col, s.stages = nil, nil
+						return
+					}
+					p.processBatch(s, batch)
+				default:
+					break drain
+				}
+			}
+			p.merge <- shardSnapshot{col: s.col, stages: s.stages}
+			s.col = collector.New()
+			s.stages = make([]Stage, len(p.cfg.Stages))
+			for j, f := range p.cfg.Stages {
+				s.stages[j] = f()
+			}
+			close(done)
+		}
+	}
+}
+
+func (p *Pipeline) processBatch(s *shard, batch []Event) {
+	cap32 := int32(p.cfg.ServerCap)
+	for _, ev := range batch {
+		if ev.Server >= cap32 {
+			// Deployment-level saturation: attribute to the last
+			// distinct index the config allows (collector.ServerBit
+			// would otherwise saturate at MaxServers-1 regardless).
+			ev.Server = cap32 - 1
+		}
+		s.col.ObserveUnix(ev.Addr, ev.Time, int(ev.Server))
+		for _, st := range s.stages {
+			st.Process(ev)
+		}
+	}
+	p.metrics.processed.Add(uint64(len(batch)))
+	p.batchPool.Put(batch[:0])
+}
+
+// runMerger is the single writer of the Store and the merged stages.
+func (p *Pipeline) runMerger() {
+	defer p.mergerWG.Done()
+	for snap := range p.merge {
+		if snap.col != nil {
+			p.store.ApplyShard(snap.col)
+		}
+		if len(snap.stages) > 0 {
+			p.stageMu.Lock()
+			for i, st := range snap.stages {
+				p.mergedStages[i].Merge(st)
+			}
+			p.stageMu.Unlock()
+		}
+		p.metrics.snapshots.Add(1)
+	}
+}
+
+func (p *Pipeline) runTicker(every time.Duration) {
+	defer p.tickerWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			p.SnapshotNow()
+		case <-p.stopTick:
+			return
+		}
+	}
+}
+
+// SnapshotNow asks every shard to hand its accumulated state to the
+// merger and blocks until all have done so; every event Flushed before
+// the call is covered by the handoff (the merge itself completes
+// asynchronously, in snapshot order). Must not race with Close.
+func (p *Pipeline) SnapshotNow() {
+	acks := make([]chan struct{}, len(p.shards))
+	for i, s := range p.shards {
+		ack := make(chan struct{})
+		acks[i] = ack
+		s.snap <- ack
+	}
+	for _, ack := range acks {
+		<-ack
+	}
+}
+
+// StageView runs fn over the pipeline-level merged enrichment stages,
+// in Config.Stages order. The view reflects state up to the last merged
+// snapshot; after Close it is complete. fn must not retain the slice.
+func (p *Pipeline) StageView(fn func(stages []Stage)) {
+	p.stageMu.Lock()
+	defer p.stageMu.Unlock()
+	fn(p.mergedStages)
+}
+
+// Stage returns the pipeline-level merged stage with the given name, or
+// nil. The same caveats as StageView apply; prefer calling it after
+// Close.
+func (p *Pipeline) Stage(name string) Stage {
+	p.stageMu.Lock()
+	defer p.stageMu.Unlock()
+	for _, st := range p.mergedStages {
+		if st.Name() == name {
+			return st
+		}
+	}
+	return nil
+}
+
+// Close finishes ingestion: all producers must have Flushed and stopped
+// first. Every queued batch is drained, final shard snapshots merge,
+// and the merged corpus is detached from the Store and returned. The
+// Store remains usable (empty) and further Close calls return the same
+// collector.
+func (p *Pipeline) Close() *collector.Collector {
+	p.closeOnce.Do(func() {
+		close(p.stopTick)
+		p.tickerWG.Wait()
+		for _, s := range p.shards {
+			close(s.in)
+		}
+		p.workersWG.Wait()
+		close(p.merge)
+		p.mergerWG.Wait()
+		p.result = p.store.Detach()
+	})
+	return p.result
+}
+
+// ---- Producer side ----
+
+// Batcher is a producer handle: per-shard buffers that flush to the
+// shard queues as they fill. A Batcher is not safe for concurrent use —
+// each producer goroutine takes its own; any number may feed one
+// pipeline concurrently.
+type Batcher struct {
+	p    *Pipeline
+	bufs [][]Event
+}
+
+// NewBatcher returns a producer handle.
+func (p *Pipeline) NewBatcher() *Batcher {
+	b := &Batcher{p: p, bufs: make([][]Event, len(p.shards))}
+	for i := range b.bufs {
+		b.bufs[i] = p.batchPool.Get().([]Event)
+	}
+	return b
+}
+
+// Add enqueues one event, flushing the destination shard's batch if it
+// just filled.
+func (b *Batcher) Add(ev Event) {
+	sh := shardOf(ev.Addr, len(b.p.shards))
+	buf := append(b.bufs[sh], ev)
+	if len(buf) >= b.p.cfg.BatchSize {
+		b.p.submit(sh, buf)
+		buf = b.p.batchPool.Get().([]Event)
+	}
+	b.bufs[sh] = buf
+}
+
+// Flush pushes every non-empty buffered batch. Call when the producer's
+// stream ends (and before Pipeline.Close).
+func (b *Batcher) Flush() {
+	for sh, buf := range b.bufs {
+		if len(buf) == 0 {
+			continue
+		}
+		b.p.submit(sh, buf)
+		b.bufs[sh] = b.p.batchPool.Get().([]Event)
+	}
+}
+
+// submit applies the admission policy for one full batch.
+func (p *Pipeline) submit(sh int, batch []Event) {
+	if p.cfg.DropOnFull {
+		select {
+		case p.shards[sh].in <- batch:
+		default:
+			p.metrics.dropped.Add(uint64(len(batch)))
+			p.batchPool.Put(batch[:0])
+			return
+		}
+	} else {
+		p.shards[sh].in <- batch
+	}
+	p.metrics.enqueued.Add(uint64(len(batch)))
+	p.metrics.batches.Add(1)
+}
+
+// Ingest feeds a whole slice through a throwaway Batcher: the
+// convenience path for replay drivers and tests.
+func (p *Pipeline) Ingest(events []Event) {
+	b := p.NewBatcher()
+	for _, ev := range events {
+		b.Add(ev)
+	}
+	b.Flush()
+}

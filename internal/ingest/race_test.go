@@ -1,0 +1,125 @@
+package ingest
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"hitlist6/internal/addr"
+	"hitlist6/internal/collector"
+)
+
+// TestShardMergeEquivalence is the concurrency correctness contract of
+// the pipeline (run it with -race): the same event stream, ingested by
+// several concurrent producers into 1, 4 and 16 shards, must merge into
+// byte-identical stores — and match the serial single-collector corpus.
+// Per-address updates commute, so neither the shard count, the producer
+// interleaving, nor the snapshot schedule may leave a trace in the
+// result.
+func TestShardMergeEquivalence(t *testing.T) {
+	events := testEvents(t, 0.03, 12)
+	var serial bytes.Buffer
+	func() {
+		c := collector.New()
+		for _, ev := range events {
+			c.ObserveUnix(ev.Addr, ev.Time, int(ev.Server))
+		}
+		if err := c.WriteCanonical(&serial); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	const producers = 4
+	for _, shards := range []int{1, 4, 16} {
+		cfg := DefaultConfig(shards)
+		cfg.BatchSize = 32 // small batches: more channel traffic under -race
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		chunk := (len(events) + producers - 1) / producers
+		for pi := 0; pi < producers; pi++ {
+			lo := pi * chunk
+			hi := min(lo+chunk, len(events))
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(part []Event) {
+				defer wg.Done()
+				b := p.NewBatcher()
+				for _, ev := range part {
+					b.Add(ev)
+				}
+				b.Flush()
+			}(events[lo:hi])
+		}
+		wg.Wait()
+		// Fold a mid-run snapshot into the mix for shards=4 so the
+		// snapshot/merge path is also covered by the equivalence claim.
+		if shards == 4 {
+			p.SnapshotNow()
+		}
+		merged := p.Close()
+
+		var got bytes.Buffer
+		if err := merged.WriteCanonical(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), serial.Bytes()) {
+			t.Errorf("shards=%d: canonical encoding differs from serial (%d vs %d bytes)",
+				shards, got.Len(), serial.Len())
+		}
+	}
+}
+
+// TestStoreConcurrentReaders hammers the live Store view from reader
+// goroutines while ingestion and snapshots run: the single-writer /
+// many-reader contract of collector.Store under -race.
+func TestStoreConcurrentReaders(t *testing.T) {
+	events := testEvents(t, 0.03, 8)
+	cfg := DefaultConfig(4)
+	cfg.Stages = []StageFactory{Categories()}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p.Store().View(func(c *collector.Collector) {
+					c.Addrs(func(_ addr.Addr, _ *collector.AddrRecord) bool {
+						return false
+					})
+				})
+				_ = p.Store().NumAddrs()
+				_ = p.Metrics()
+				p.StageView(func(stages []Stage) { _ = stages[0].Name() })
+			}
+		}()
+	}
+
+	half := len(events) / 2
+	p.Ingest(events[:half])
+	p.SnapshotNow()
+	p.Ingest(events[half:])
+	merged := p.Close()
+	close(stop)
+	readers.Wait()
+
+	if merged.TotalObservations() != uint64(len(events)) {
+		t.Errorf("observations %d, want %d", merged.TotalObservations(), len(events))
+	}
+}

@@ -1,0 +1,157 @@
+package ingest
+
+import (
+	"hitlist6/internal/addr"
+	"hitlist6/internal/asdb"
+	"hitlist6/internal/cardinality"
+	"hitlist6/internal/collector"
+)
+
+// Stage is a per-shard enrichment stage: Process runs inline on the
+// shard worker for every event (no locking needed — each instance is
+// private to one shard), and Merge folds another shard's instance into
+// this one when snapshots land on the pipeline-level view. Merge must
+// be commutative and associative so results are shard-count independent,
+// and must leave the other instance unused afterwards.
+type Stage interface {
+	Name() string
+	Process(ev Event)
+	Merge(other Stage)
+}
+
+// StageFactory builds one private Stage instance per shard (plus one
+// pipeline-level instance snapshots merge into).
+type StageFactory func() Stage
+
+// ---- Category stage ----
+
+// CategoryStage tallies sightings per Figure-5 structural category: a
+// live view of the addressing-strategy mix flowing past a vantage.
+// Counts are per sighting, not per unique address (the latter needs the
+// merged store).
+type CategoryStage struct {
+	Counts [addr.NumCategories]uint64
+}
+
+// Categories returns a CategoryStage factory.
+func Categories() StageFactory {
+	return func() Stage { return &CategoryStage{} }
+}
+
+// Name implements Stage.
+func (s *CategoryStage) Name() string { return "categories" }
+
+// Process implements Stage.
+func (s *CategoryStage) Process(ev Event) {
+	s.Counts[ev.Addr.IID().StructuralCategory()]++
+}
+
+// Merge implements Stage.
+func (s *CategoryStage) Merge(other Stage) {
+	o := other.(*CategoryStage)
+	for i, n := range o.Counts {
+		s.Counts[i] += n
+	}
+}
+
+// ---- ASN stage ----
+
+// ASNStage tallies sightings per origin AS, resolved against a routing
+// table snapshot. Unrouted addresses count under ASN 0.
+type ASNStage struct {
+	db     *asdb.DB
+	Counts map[asdb.ASN]uint64
+}
+
+// ASNs returns an ASNStage factory over the given routing DB.
+func ASNs(db *asdb.DB) StageFactory {
+	return func() Stage {
+		return &ASNStage{db: db, Counts: make(map[asdb.ASN]uint64)}
+	}
+}
+
+// Name implements Stage.
+func (s *ASNStage) Name() string { return "asns" }
+
+// Process implements Stage.
+func (s *ASNStage) Process(ev Event) {
+	asn, _ := s.db.OriginASN(ev.Addr)
+	s.Counts[asn]++
+}
+
+// Merge implements Stage.
+func (s *ASNStage) Merge(other Stage) {
+	for asn, n := range other.(*ASNStage).Counts {
+		s.Counts[asn] += n
+	}
+}
+
+// ---- Cardinality stage ----
+
+// HLLStage sketches unique-address cardinality per shard. At the
+// paper's full scale (7.9 B uniques) the HLL union is the only
+// affordable global unique count, since no single machine holds the
+// exact address set.
+type HLLStage struct {
+	H *cardinality.HLL
+}
+
+// Cardinality returns an HLLStage factory at the given precision
+// (see cardinality.NewHLL; 14 is the standard choice).
+func Cardinality(precision uint8) StageFactory {
+	return func() Stage {
+		h, err := cardinality.NewHLL(precision)
+		if err != nil {
+			// Config error, surfaced at pipeline construction the first
+			// time the factory runs.
+			panic(err)
+		}
+		return &HLLStage{H: h}
+	}
+}
+
+// Name implements Stage.
+func (s *HLLStage) Name() string { return "cardinality" }
+
+// Process implements Stage.
+func (s *HLLStage) Process(ev Event) { s.H.AddAddr(ev.Addr) }
+
+// Merge implements Stage.
+func (s *HLLStage) Merge(other Stage) {
+	// Same-precision by construction (one factory builds every
+	// instance), so the only Merge error is impossible here.
+	_ = s.H.Merge(other.(*HLLStage).H)
+}
+
+// ---- Day-slice stage ----
+
+// DaySliceStage collects the sightings of one 24-hour window into its
+// own collector: the paper's single-day analyses (Figures 4b and 5)
+// as an inline enrichment instead of a second replay pass.
+type DaySliceStage struct {
+	start, end int64
+	Col        *collector.Collector
+}
+
+// DaySlice returns a DaySliceStage factory for [start, end) in Unix
+// seconds.
+func DaySlice(start, end int64) StageFactory {
+	return func() Stage {
+		return &DaySliceStage{start: start, end: end, Col: collector.New()}
+	}
+}
+
+// Name implements Stage.
+func (s *DaySliceStage) Name() string { return "dayslice" }
+
+// Process implements Stage.
+func (s *DaySliceStage) Process(ev Event) {
+	if ev.Time >= s.start && ev.Time < s.end {
+		s.Col.ObserveUnix(ev.Addr, ev.Time, int(ev.Server))
+	}
+}
+
+// Merge implements Stage.
+func (s *DaySliceStage) Merge(other Stage) {
+	s.Col.Merge(other.(*DaySliceStage).Col)
+}

@@ -24,6 +24,7 @@ import (
 	"hitlist6/internal/collector"
 	"hitlist6/internal/geoloc"
 	"hitlist6/internal/hitlist"
+	"hitlist6/internal/ingest"
 	"hitlist6/internal/ntppool"
 	"hitlist6/internal/outage"
 	"hitlist6/internal/scan"
@@ -51,6 +52,11 @@ type Config struct {
 	// BackscanDays is the length of the backscanning campaign, run at
 	// the end of the window (the paper ran one week in January 2023).
 	BackscanDays int
+	// IngestShards is the passive-collection shard count: replay fans
+	// out across this many collector shards (see internal/ingest). 0
+	// selects an automatic per-machine value. The merged corpus is
+	// byte-identical for every shard count, so this only affects speed.
+	IngestShards int
 }
 
 // DefaultConfig returns the paper-shaped study at moderate scale.
@@ -92,6 +98,9 @@ func NewStudy(cfg Config) (*Study, error) {
 	if cfg.Days <= 0 {
 		return nil, fmt.Errorf("hitlist6: Days must be positive")
 	}
+	if cfg.IngestShards < 0 {
+		return nil, fmt.Errorf("hitlist6: IngestShards must be >= 0")
+	}
 	if cfg.SliceDay < 0 || cfg.SliceDay >= cfg.Days {
 		cfg.SliceDay = cfg.Days / 2
 	}
@@ -113,12 +122,28 @@ func NewStudy(cfg Config) (*Study, error) {
 	}, nil
 }
 
-// CollectPassive replays the study window's NTP traffic through the pool
-// into the collectors and materializes the NTP datasets.
+// CollectPassive replays the study window's NTP traffic through the
+// pool into the sharded ingest pipeline and materializes the NTP
+// datasets. The replay producer is sequential (vantage selection is
+// order-dependent round-robin), but all per-sighting collector and
+// enrichment work runs across Config.IngestShards shards; the merged
+// corpus is identical to a serial ntppool.Run for any shard count.
 func (s *Study) CollectPassive() {
-	s.Collector = collector.New()
-	s.DayCollector = collector.New()
-	s.RunStats = ntppool.Run(s.World, s.Pool, s.Collector, s.DayCollector, s.DayStart)
+	dayEnd := s.DayStart.Add(24 * time.Hour)
+	cfg := ingest.DefaultConfig(s.Config.IngestShards)
+	cfg.Stages = []ingest.StageFactory{
+		ingest.DaySlice(s.DayStart.Unix(), dayEnd.Unix()),
+	}
+	pipe, err := ingest.New(cfg)
+	if err != nil {
+		// Unreachable: NewStudy rejects negative shard counts and every
+		// other pipeline parameter here is a default.
+		panic(err)
+	}
+	s.RunStats = ntppool.RunIngest(s.World, s.Pool, pipe)
+	s.Collector = pipe.Close()
+	s.DayCollector = pipe.Stage("dayslice").(*ingest.DaySliceStage).Col
+	s.RunStats.UniqueClients = s.Collector.NumAddrs()
 	s.NTP = hitlist.FromCollector("NTP Pool (passive)", s.Collector)
 	s.NTPDay = hitlist.FromCollector("NTP Pool (1-day slice)", s.DayCollector)
 }
