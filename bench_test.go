@@ -91,7 +91,9 @@ func BenchmarkPassiveCollection(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.CollectPassive()
+		if err := s.CollectPassive(); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(s.Collector.NumAddrs()), "addrs")
 	b.ReportMetric(float64(s.RunStats.Queries), "queries")
@@ -112,7 +114,9 @@ func BenchmarkPassiveCollectionSharded(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				s.CollectPassive()
+				if err := s.CollectPassive(); err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.ReportMetric(float64(s.RunStats.Queries)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
 		})
@@ -620,8 +624,10 @@ func BenchmarkTGAEntropyIP(b *testing.B) {
 	}
 }
 
-// BenchmarkOutageDetection measures the passive outage pipeline: binning
-// the full query stream plus detection.
+// BenchmarkOutageDetection measures the replay-based outage path:
+// binning the full query stream plus detection. Compare with
+// BenchmarkOutageDetectionSinglePass, which reads the series the ingest
+// pipeline already recorded.
 func BenchmarkOutageDetection(b *testing.B) {
 	s := sharedStudy(b)
 	b.ResetTimer()
@@ -632,6 +638,23 @@ func BenchmarkOutageDetection(b *testing.B) {
 			b.Fatal(err)
 		}
 		events = outage.Detect(series, outage.DefaultConfig())
+	}
+	b.ReportMetric(float64(len(events)), "events")
+}
+
+// BenchmarkOutageDetectionSinglePass measures Study.DetectOutages over
+// the series recorded during collection: rebin plus detection, no
+// replay — the cost every post-refactor detection call pays.
+func BenchmarkOutageDetectionSinglePass(b *testing.B) {
+	s := sharedStudy(b)
+	b.ResetTimer()
+	var events []outage.Event
+	for i := 0; i < b.N; i++ {
+		var err error
+		events, err = s.DetectOutages(6 * time.Hour)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(len(events)), "events")
 }

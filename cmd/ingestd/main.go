@@ -1,11 +1,16 @@
 // Command ingestd runs the sharded ingest pipeline as a daemon: it
 // consumes an NTP query-event stream — a file (or stdin), a UDP socket,
 // or a simulated replay — fans it out across collector shards with
-// inline enrichment (addressing categories, HyperLogLog cardinality),
-// and serves live summary statistics over HTTP. It is the
-// single-vantage deployment shape of the paper's 27-server passive
+// inline enrichment (addressing categories, HyperLogLog cardinality,
+// the per-AS outage series), and serves live summaries over HTTP. It is
+// the single-vantage deployment shape of the paper's 27-server passive
 // collection: one ingestd per pool server, snapshots merging into the
-// live store that the stats endpoint reads.
+// live store that the stat endpoints read.
+//
+// The outage detector is the paper's headline hitlist application run
+// live: the same single pass that builds the corpus feeds a per-AS
+// time-binned series, and a periodic detector scans its rolling window
+// for ASes that went dark — served at /outages, no probes sent.
 //
 // Event lines are `<unix-seconds> <ipv6-address> [<server-index>]`.
 //
@@ -19,6 +24,7 @@
 // Then:
 //
 //	curl http://localhost:8629/stats
+//	curl http://localhost:8629/outages
 package main
 
 import (
@@ -35,28 +41,33 @@ import (
 	"time"
 
 	"hitlist6/internal/addr"
+	"hitlist6/internal/asdb"
 	"hitlist6/internal/collector"
 	"hitlist6/internal/ingest"
 	"hitlist6/internal/ntppool"
+	"hitlist6/internal/outage"
 	"hitlist6/internal/simnet"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":8629", "HTTP stats listen address")
-		file     = flag.String("file", "", "event file to replay ('-' for stdin)")
-		udp      = flag.String("udp", "", "UDP listen address for event datagrams")
-		sim      = flag.Bool("sim", false, "generate a simnet replay stream instead of external input")
-		simScale = flag.Float64("sim.scale", 0.1, "simnet population scale")
-		simDays  = flag.Int("sim.days", 30, "simnet study window in days")
-		simSeed  = flag.Int64("sim.seed", 1, "simnet world seed")
-		shards   = flag.Int("shards", 0, "collector shards (0 = one per CPU, capped at 8)")
-		batch    = flag.Int("batch", 0, "events per batch (0 = default)")
-		queue    = flag.Int("queue", 0, "per-shard queue depth in batches (0 = default)")
-		drop     = flag.Bool("drop", false, "shed events when a shard queue is full instead of blocking")
-		snapshot = flag.Duration("snapshot", 2*time.Second, "live-view snapshot interval")
-		hllPrec  = flag.Uint("hll", 14, "HyperLogLog precision (4-16)")
-		serverCp = flag.Int("servers", collector.MaxServers, "vantage-server attribution cap")
+		listen    = flag.String("listen", ":8629", "HTTP stats listen address")
+		file      = flag.String("file", "", "event file to replay ('-' for stdin)")
+		udp       = flag.String("udp", "", "UDP listen address for event datagrams")
+		sim       = flag.Bool("sim", false, "generate a simnet replay stream instead of external input")
+		simScale  = flag.Float64("sim.scale", 0.1, "simnet population scale")
+		simDays   = flag.Int("sim.days", 30, "simnet study window in days")
+		simSeed   = flag.Int64("sim.seed", 1, "simnet world seed")
+		shards    = flag.Int("shards", 0, "collector shards (0 = one per CPU, capped at 8)")
+		batch     = flag.Int("batch", 0, "events per batch (0 = default)")
+		queue     = flag.Int("queue", 0, "per-shard queue depth in batches (0 = default)")
+		drop      = flag.Bool("drop", false, "shed events when a shard queue is full instead of blocking")
+		snapshot  = flag.Duration("snapshot", 2*time.Second, "live-view snapshot interval")
+		hllPrec   = flag.Uint("hll", 14, "HyperLogLog precision (4-16)")
+		serverCp  = flag.Int("servers", collector.MaxServers, "vantage-server attribution cap")
+		outBin    = flag.Duration("outage.bin", time.Hour, "outage series bin width (whole seconds; 0 disables the outage consumer)")
+		outEvery  = flag.Duration("outage.every", 30*time.Second, "how often the live outage detector rescans the series")
+		outWindow = flag.Int("outage.window", 0, "rolling detection window in complete bins (0 = whole series)")
 	)
 	flag.Parse()
 
@@ -75,6 +86,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ingestd: -hll %d out of [4,16]\n", *hllPrec)
 		os.Exit(2)
 	}
+	if *outBin < 0 || *outBin%time.Second != 0 {
+		fmt.Fprintf(os.Stderr, "ingestd: -outage.bin %v must be a non-negative whole number of seconds\n", *outBin)
+		os.Exit(2)
+	}
+	if *outBin > 0 && *outEvery <= 0 {
+		fmt.Fprintf(os.Stderr, "ingestd: -outage.every %v must be positive\n", *outEvery)
+		os.Exit(2)
+	}
+
+	// The outage consumer needs a routing table to attribute events to
+	// ASes. BuildASDB yields the same table a full world build would
+	// (attribution-identical; see simnet.BuildASDB), without blocking
+	// daemon startup on world construction — the sim replay builds its
+	// world later, on the replay goroutine.
+	var routes *asdb.DB
+	if *outBin > 0 {
+		db, err := simnet.BuildASDB(simnet.DefaultConfig(*simSeed, 1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ingestd: routing table:", err)
+			os.Exit(1)
+		}
+		routes = db
+	}
 
 	cfg := ingest.Config{
 		Shards:           *shards,
@@ -88,12 +122,16 @@ func main() {
 			ingest.Cardinality(uint8(*hllPrec)),
 		},
 	}
+	if routes != nil {
+		cfg.Stages = append(cfg.Stages, ingest.OutageSeriesLive(routes, *outBin))
+	}
 	pipe, err := ingest.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ingestd:", err)
 		os.Exit(1)
 	}
 
+	var latestOutages atomic.Pointer[outagesReply]
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -101,6 +139,23 @@ func main() {
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(buildStats(pipe)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/outages", func(w http.ResponseWriter, _ *http.Request) {
+		if routes == nil {
+			http.Error(w, "outage detection disabled (-outage.bin 0)", http.StatusNotFound)
+			return
+		}
+		reply := latestOutages.Load()
+		if reply == nil {
+			// Nothing detected yet (first tick pending): scan on demand so
+			// the endpoint is never stale-empty.
+			reply = detectOutages(pipe, *outWindow)
+			latestOutages.Store(reply)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(reply); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -116,6 +171,18 @@ func main() {
 	}()
 	fmt.Fprintf(os.Stderr, "ingestd: %d shards, stats on http://%s/stats\n",
 		pipe.NumShards(), httpLn.Addr())
+
+	if routes != nil {
+		go func() {
+			t := time.NewTicker(*outEvery)
+			defer t.Stop()
+			for range t.C {
+				latestOutages.Store(detectOutages(pipe, *outWindow))
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "ingestd: outage detector live (bin %v, rescan %v) on http://%s/outages\n",
+			*outBin, *outEvery, httpLn.Addr())
+	}
 
 	var badLines atomic.Uint64
 	switch {
@@ -187,6 +254,65 @@ func buildStats(pipe *ingest.Pipeline) statsReply {
 	return reply
 }
 
+// outagesReply is the /outages JSON shape.
+type outagesReply struct {
+	UpdatedUnix  int64              `json:"updated_unix"`
+	Bin          string             `json:"bin"`
+	Bins         int                `json:"bins"`
+	CompleteBins int                `json:"complete_bins"`
+	WindowBins   int                `json:"window_bins,omitempty"`
+	ASes         int                `json:"ases"`
+	Events       []outageEventReply `json:"events"`
+}
+
+// outageEventReply is one detected outage in /outages.
+type outageEventReply struct {
+	ASN          asdb.ASN  `json:"asn"`
+	From         time.Time `json:"from"`
+	To           time.Time `json:"to"`
+	DarkBins     int       `json:"dark_bins"`
+	MedianVolume float64   `json:"median_volume"`
+	Summary      string    `json:"summary"`
+}
+
+// detectOutages scans the live outage series' rolling window. The stage
+// view hands out a deep-copied series, so detection runs entirely off
+// the merge lock.
+func detectOutages(pipe *ingest.Pipeline, windowBins int) *outagesReply {
+	var series *outage.Series
+	pipe.StageView(func(stages []ingest.Stage) {
+		for _, st := range stages {
+			if s, ok := st.(*ingest.OutageSeriesStage); ok {
+				series = s.Series()
+			}
+		}
+	})
+	reply := &outagesReply{
+		UpdatedUnix: time.Now().Unix(),
+		WindowBins:  windowBins,
+		Events:      []outageEventReply{},
+	}
+	if series == nil {
+		return reply
+	}
+	series = series.Tail(windowBins)
+	reply.Bin = series.Bin.String()
+	reply.Bins = series.Bins
+	reply.CompleteBins = series.Complete
+	reply.ASes = len(series.ByAS)
+	for _, e := range outage.Detect(series, outage.DefaultConfig()) {
+		reply.Events = append(reply.Events, outageEventReply{
+			ASN:          e.ASN,
+			From:         e.From,
+			To:           e.To,
+			DarkBins:     e.DarkBins,
+			MedianVolume: e.MedianVolume,
+			Summary:      e.String(),
+		})
+	}
+	return reply
+}
+
 func ingestFile(pipe *ingest.Pipeline, path string, badLines *atomic.Uint64) error {
 	in := os.Stdin
 	if path != "-" {
@@ -201,46 +327,41 @@ func ingestFile(pipe *ingest.Pipeline, path string, badLines *atomic.Uint64) err
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<16), 1<<16)
 	for sc.Scan() {
-		line := sc.Text()
-		if line == "" || line[0] == '#' {
-			continue
-		}
-		ev, err := ingest.ParseEvent(line)
-		if err != nil {
-			badLines.Add(1)
-			continue
-		}
-		b.Add(ev)
+		ingestLine(b, sc.Bytes(), badLines)
 	}
 	b.Flush()
 	pipe.SnapshotNow()
 	return sc.Err()
 }
 
-func ingestUDP(pipe *ingest.Pipeline, conn net.PacketConn, badLines *atomic.Uint64) {
-	b := pipe.NewBatcher()
-	buf := make([]byte, 1<<16)
-	for {
-		n, _, err := conn.ReadFrom(buf)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ingestd: udp read:", err)
-			return
-		}
-		for _, line := range bytes.Split(buf[:n], []byte{'\n'}) {
-			if len(line) == 0 || line[0] == '#' {
-				continue
-			}
-			ev, err := ingest.ParseEvent(string(line))
-			if err != nil {
-				badLines.Add(1)
-				continue
-			}
-			b.Add(ev)
-		}
-		// Datagram boundaries are natural flush points: the live view
-		// should never lag more than one read behind the wire.
-		b.Flush()
+// ingestLine parses one event line into the batcher, tolerating blank
+// lines, surrounding whitespace (including the \r of CRLF framing) and
+// # comments; only genuinely malformed lines count as bad.
+func ingestLine(b *ingest.Batcher, line []byte, badLines *atomic.Uint64) bool {
+	line = bytes.TrimSpace(line)
+	if len(line) == 0 || line[0] == '#' {
+		return false
 	}
+	ev, err := ingest.ParseEvent(string(line))
+	if err != nil {
+		badLines.Add(1)
+		return false
+	}
+	b.Add(ev)
+	return true
+}
+
+// ingestDatagram splits one UDP payload into event lines. Splitting a
+// newline-terminated datagram yields an empty trailing fragment, which
+// must not count as a parse error — ingestLine skips blanks.
+func ingestDatagram(b *ingest.Batcher, buf []byte, badLines *atomic.Uint64) int {
+	added := 0
+	for _, line := range bytes.Split(buf, []byte{'\n'}) {
+		if ingestLine(b, line, badLines) {
+			added++
+		}
+	}
+	return added
 }
 
 // simReplay builds a simulated world and streams its NTP queries
@@ -261,4 +382,20 @@ func simReplay(pipe *ingest.Pipeline, seed int64, scale float64, days int) uint6
 	}
 	stats := ntppool.RunIngest(w, pool, pipe)
 	return stats.Queries
+}
+
+func ingestUDP(pipe *ingest.Pipeline, conn net.PacketConn, badLines *atomic.Uint64) {
+	b := pipe.NewBatcher()
+	buf := make([]byte, 1<<16)
+	for {
+		n, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ingestd: udp read:", err)
+			return
+		}
+		ingestDatagram(b, buf[:n], badLines)
+		// Datagram boundaries are natural flush points: the live view
+		// should never lag more than one read behind the wire.
+		b.Flush()
+	}
 }

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hitlist6/internal/ingest"
+)
+
+// TestIngestDatagramSkipsBlankFragments is the regression test for the
+// UDP framing bug: splitting a newline-terminated datagram on '\n'
+// yields an empty trailing fragment, which must not count as a parse
+// error. CRLF framing, whitespace-only lines and comments are equally
+// benign; only genuinely malformed lines are bad.
+func TestIngestDatagramSkipsBlankFragments(t *testing.T) {
+	pipe, err := ingest.New(ingest.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := pipe.NewBatcher()
+	var bad atomic.Uint64
+
+	if n := ingestDatagram(b, []byte("1643673600 2001:db8::1 3\n1643673601 2001:db8::2\n"), &bad); n != 2 {
+		t.Errorf("newline-terminated datagram: %d events, want 2", n)
+	}
+	if bad.Load() != 0 {
+		t.Errorf("trailing empty fragment counted as %d parse errors", bad.Load())
+	}
+
+	if n := ingestDatagram(b, []byte("1643673602 2001:db8::3 1\r\n\r\n# comment\n   \n"), &bad); n != 1 {
+		t.Errorf("CRLF/blank/comment datagram: %d events, want 1", n)
+	}
+	if bad.Load() != 0 {
+		t.Errorf("benign lines counted as %d parse errors", bad.Load())
+	}
+
+	if n := ingestDatagram(b, []byte("garbage\n1643673603 2001:db8::4\n"), &bad); n != 1 || bad.Load() != 1 {
+		t.Errorf("malformed line: %d events, %d bad (want 1 and 1)", n, bad.Load())
+	}
+
+	b.Flush()
+	if got := pipe.Close().TotalObservations(); got != 4 {
+		t.Errorf("merged %d observations, want 4", got)
+	}
+}
+
+// TestDetectOutagesEndpointShape exercises the /outages reply builder
+// against a pipeline with no outage stage (detection disabled path) —
+// it must degrade to an empty reply rather than panic.
+func TestDetectOutagesEndpointShape(t *testing.T) {
+	pipe, err := ingest.New(ingest.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+	reply := detectOutages(pipe, 0)
+	if reply == nil || len(reply.Events) != 0 || reply.Bins != 0 {
+		t.Errorf("empty-pipeline reply: %+v", reply)
+	}
+}

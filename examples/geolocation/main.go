@@ -24,7 +24,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	study.CollectPassive()
+	if err := study.CollectPassive(); err != nil {
+		log.Fatal(err)
+	}
 
 	geo, err := study.Geolocation(0)
 	if err != nil {

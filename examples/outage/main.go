@@ -1,8 +1,9 @@
 // Outage example: the paper's introduction lists outage detection among
 // the applications a large passive hitlist enables. This example injects
-// a 36-hour outage into Telefonica Brasil, replays the NTP query stream,
-// and shows the detector recovering the window purely from the passive
-// feed — no probes sent.
+// a 36-hour outage into Telefonica Brasil and recovers the window purely
+// from the passive feed — no probes sent — using a single replay: the
+// per-AS outage series is an enrichment stage of the same sharded ingest
+// pass that builds the address corpus, not a second pass over the world.
 //
 //	go run ./examples/outage
 package main
@@ -12,6 +13,8 @@ import (
 	"log"
 	"time"
 
+	"hitlist6/internal/ingest"
+	"hitlist6/internal/ntppool"
 	"hitlist6/internal/outage"
 	"hitlist6/internal/simnet"
 )
@@ -28,12 +31,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	series, err := outage.BuildSeries(w, 6*time.Hour)
+	pool, err := ntppool.New(ntppool.StudyVantages())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("binned %d ASes into %d six-hour bins\n", len(series.ByAS), series.Bins)
+
+	// One pass feeds everything: the pipeline shards the replay into the
+	// collector corpus while the outage stage bins the same events per AS.
+	pcfg := ingest.DefaultConfig(0)
+	pcfg.Stages = []ingest.StageFactory{
+		ingest.OutageSeries(w.ASDB, w.Origin, w.End, 6*time.Hour),
+	}
+	pipe, err := ingest.New(pcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ntppool.RunIngest(w, pool, pipe)
+	corpus := pipe.Close()
+	stage, ok := pipe.Stage("outage").(*ingest.OutageSeriesStage)
+	if !ok {
+		log.Fatal("outage stage missing")
+	}
+	series := stage.Series()
+	fmt.Printf("one pass: %d unique clients collected, %d ASes binned into %d six-hour bins (%d replays of the world)\n",
+		corpus.NumAddrs(), len(series.ByAS), series.Bins, w.Replays())
 
 	events := outage.Detect(series, outage.DefaultConfig())
 	fmt.Printf("detected %d outage event(s):\n", len(events))

@@ -24,7 +24,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	study.CollectPassive() // tracking needs only the passive corpus
+	// Tracking needs only the passive corpus: the single ingest pass.
+	if err := study.CollectPassive(); err != nil {
+		log.Fatal(err)
+	}
 
 	tr, err := study.Tracking()
 	if err != nil {

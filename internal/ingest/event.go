@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"hitlist6/internal/addr"
+	"hitlist6/internal/collector"
 )
 
 // Event is one NTP query sighting entering the pipeline: the client's
@@ -52,6 +53,13 @@ func ParseEvent(line string) (Event, error) {
 		server, err = strconv.ParseInt(fields[2], 10, 32)
 		if err != nil {
 			return ev, fmt.Errorf("ingest: bad server %q: %v", fields[2], err)
+		}
+		// -1 means "no vantage attribution"; anything else below zero is
+		// malformed, and indices at or past the collector's bitmask width
+		// would silently mis-attribute (saturate onto the top bit), so the
+		// codec rejects them instead.
+		if server < -1 || server >= collector.MaxServers {
+			return ev, fmt.Errorf("ingest: server index %d out of [-1,%d)", server, collector.MaxServers)
 		}
 	}
 	return Event{Addr: a, Time: ts, Server: int32(server)}, nil

@@ -299,6 +299,11 @@ func TestParseEventRoundTrip(t *testing.T) {
 	for _, bad := range []string{
 		"", "1234", "x 2001:db8::1", "1234 not-an-addr",
 		"1234 2001:db8::1 banana", "1 2 3 4",
+		// Server indices outside [-1, MaxServers) would be silently
+		// mis-attributed (saturated onto the top bit) — the codec rejects.
+		"1234 2001:db8::1 -2",
+		"1234 2001:db8::1 32",
+		"1234 2001:db8::1 4096",
 	} {
 		if _, err := ParseEvent(bad); err == nil {
 			t.Errorf("ParseEvent(%q) should fail", bad)

@@ -1,10 +1,14 @@
 package ingest
 
 import (
+	"fmt"
+	"time"
+
 	"hitlist6/internal/addr"
 	"hitlist6/internal/asdb"
 	"hitlist6/internal/cardinality"
 	"hitlist6/internal/collector"
+	"hitlist6/internal/outage"
 )
 
 // Stage is a per-shard enrichment stage: Process runs inline on the
@@ -121,6 +125,203 @@ func (s *HLLStage) Merge(other Stage) {
 	// Same-precision by construction (one factory builds every
 	// instance), so the only Merge error is impossible here.
 	_ = s.H.Merge(other.(*HLLStage).H)
+}
+
+// ---- Outage-series stage ----
+
+// OutageSeriesStage bins sightings into per-AS fixed-width time bins:
+// outage.BuildSeries as an enrichment stage, so the passive outage
+// detector consumes the same single ingest pass as every other analysis
+// instead of replaying the world. Per-AS bin counts commute across
+// addresses — exactly like the collector's per-address records — so
+// shard instances merge by element-wise addition and the merged series
+// is independent of the shard count.
+//
+// The stage runs in one of two modes. Window mode (OutageSeries) fixes
+// [origin, end] up front and reproduces outage.BuildSeries over that
+// window exactly. Live mode (OutageSeriesLive) has no window: bin 0
+// anchors to the first event seen, aligned down to a bin boundary, and
+// the series grows with the stream — the rolling shape a serving daemon
+// detects over.
+type OutageSeriesStage struct {
+	db     *asdb.DB
+	binSec int64
+	// origin is the Unix second of bin 0; anchored reports whether it
+	// has been chosen (window mode: at construction; live: first event).
+	origin   int64
+	originT  time.Time
+	anchored bool
+	// bins caps the series length in window mode; 0 grows with the
+	// stream. endUnix is the window end, for Series().Complete.
+	bins    int
+	endUnix int64
+	counts  map[asdb.ASN][]int
+}
+
+// outageBinSeconds validates the stage's bin width. The event stream
+// carries Unix-second timestamps, so the bin must be a positive whole
+// number of seconds; anything else panics at pipeline construction
+// (a config error, like Cardinality's precision).
+func outageBinSeconds(bin time.Duration) int64 {
+	if bin <= 0 || bin%time.Second != 0 {
+		panic(fmt.Sprintf("ingest: outage bin %v must be a positive whole number of seconds", bin))
+	}
+	return int64(bin / time.Second)
+}
+
+// OutageSeries returns a window-mode OutageSeriesStage factory over
+// [origin, end] with the given bin width, resolving origin ASes against
+// db. The merged series equals outage.BuildSeries(w, bin) for the same
+// window and query stream.
+func OutageSeries(db *asdb.DB, origin, end time.Time, bin time.Duration) StageFactory {
+	binSec := outageBinSeconds(bin)
+	bins := int(end.Sub(origin)/bin) + 1
+	return func() Stage {
+		return &OutageSeriesStage{
+			db:       db,
+			binSec:   binSec,
+			origin:   origin.Unix(),
+			originT:  origin,
+			anchored: true,
+			bins:     bins,
+			endUnix:  end.Unix(),
+			counts:   make(map[asdb.ASN][]int),
+		}
+	}
+}
+
+// OutageSeriesLive returns a live-mode OutageSeriesStage factory: no
+// fixed window, bin 0 anchored to the first event, series growing with
+// the stream. This is what cmd/ingestd runs for live detection.
+func OutageSeriesLive(db *asdb.DB, bin time.Duration) StageFactory {
+	binSec := outageBinSeconds(bin)
+	return func() Stage {
+		return &OutageSeriesStage{
+			db:     db,
+			binSec: binSec,
+			counts: make(map[asdb.ASN][]int),
+		}
+	}
+}
+
+// Name implements Stage.
+func (s *OutageSeriesStage) Name() string { return "outage" }
+
+// Process implements Stage.
+func (s *OutageSeriesStage) Process(ev Event) {
+	as := s.db.Lookup(ev.Addr)
+	if as == nil {
+		return // unrouted, like BuildSeries
+	}
+	if !s.anchored {
+		if ev.Time < 0 {
+			return // pre-epoch garbage cannot anchor an aligned origin
+		}
+		s.anchor(ev.Time / s.binSec * s.binSec)
+	}
+	if ev.Time < s.origin && s.bins == 0 {
+		if ev.Time < 0 {
+			return
+		}
+		s.rewind(ev.Time / s.binSec * s.binSec)
+	}
+	// Truncation toward zero matches BuildSeries: an event less than one
+	// bin before origin still lands in bin 0.
+	idx := int((ev.Time - s.origin) / s.binSec)
+	if idx < 0 || (s.bins > 0 && idx >= s.bins) {
+		return
+	}
+	bucket := s.counts[as.ASN]
+	if len(bucket) <= idx {
+		bucket = append(bucket, make([]int, idx+1-len(bucket))...)
+	}
+	bucket[idx]++
+	s.counts[as.ASN] = bucket
+}
+
+func (s *OutageSeriesStage) anchor(origin int64) {
+	s.origin = origin
+	s.originT = time.Unix(origin, 0).UTC()
+	s.anchored = true
+}
+
+// rewind moves bin 0 back to an earlier aligned origin, prepending
+// zeros to every AS's bins (live mode only; window origins are fixed).
+func (s *OutageSeriesStage) rewind(newOrigin int64) {
+	delta := int((s.origin - newOrigin) / s.binSec)
+	if delta <= 0 {
+		return
+	}
+	for asn, c := range s.counts {
+		nc := make([]int, delta+len(c))
+		copy(nc[delta:], c)
+		s.counts[asn] = nc
+	}
+	s.anchor(newOrigin)
+}
+
+// Merge implements Stage. Live-mode shards may have anchored to
+// different (bin-aligned) origins; counts are keyed by absolute time,
+// so reconciling to the earliest origin keeps Merge commutative and
+// associative.
+func (s *OutageSeriesStage) Merge(other Stage) {
+	o := other.(*OutageSeriesStage)
+	if !o.anchored {
+		return
+	}
+	if !s.anchored {
+		s.anchor(o.origin)
+		s.counts = o.counts
+		return
+	}
+	if o.origin < s.origin {
+		s.rewind(o.origin)
+	}
+	off := int((o.origin - s.origin) / s.binSec)
+	for asn, oc := range o.counts {
+		mine := s.counts[asn]
+		if need := off + len(oc); len(mine) < need {
+			mine = append(mine, make([]int, need-len(mine))...)
+		}
+		for i, n := range oc {
+			mine[off+i] += n
+		}
+		s.counts[asn] = mine
+	}
+}
+
+// Series materializes the accumulated bins as an outage.Series, deep-
+// copied so callers may keep it while the pipeline merges further
+// snapshots. In window mode the result equals outage.BuildSeries over
+// the same window; in live mode it spans bin 0 through the newest
+// observed bin, with that newest bin marked incomplete (it is still
+// filling).
+func (s *OutageSeriesStage) Series() *outage.Series {
+	bins := s.bins
+	if bins == 0 {
+		for _, c := range s.counts {
+			if len(c) > bins {
+				bins = len(c)
+			}
+		}
+	}
+	out := &outage.Series{
+		Origin: s.originT,
+		Bin:    time.Duration(s.binSec) * time.Second,
+		Bins:   bins,
+		ByAS:   make(map[asdb.ASN][]int, len(s.counts)),
+	}
+	if s.bins > 0 {
+		out.Complete = int((s.endUnix - s.origin) / s.binSec)
+	} else if bins > 0 {
+		out.Complete = bins - 1
+	}
+	for asn, c := range s.counts {
+		full := make([]int, bins)
+		copy(full, c)
+		out.ByAS[asn] = full
+	}
+	return out
 }
 
 // ---- Day-slice stage ----

@@ -1,0 +1,146 @@
+package ntppool
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"hitlist6/internal/collector"
+	"hitlist6/internal/ingest"
+	"hitlist6/internal/outage"
+	"hitlist6/internal/simnet"
+	"hitlist6/internal/tracking"
+)
+
+// singlePassWorld builds a world with an injected 48-hour outage so the
+// equivalence tests cover a series with real detections in it.
+func singlePassWorld(t *testing.T) *simnet.World {
+	t.Helper()
+	cfg := simnet.DefaultConfig(41, 0.06)
+	cfg.Days = 16
+	for i := range cfg.ASes {
+		if cfg.ASes[i].ASN == 4134 {
+			cfg.ASes[i].Outages = []simnet.OutageWindow{{StartDay: 5, Hours: 48}}
+		}
+	}
+	w, err := simnet.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func assertSeriesEqual(t *testing.T, label string, want, got *outage.Series) {
+	t.Helper()
+	if !got.Origin.Equal(want.Origin) || got.Bin != want.Bin ||
+		got.Bins != want.Bins || got.Complete != want.Complete {
+		t.Fatalf("%s: series shape (%v,%v,%d,%d) vs (%v,%v,%d,%d)", label,
+			got.Origin, got.Bin, got.Bins, got.Complete,
+			want.Origin, want.Bin, want.Bins, want.Complete)
+	}
+	if len(got.ByAS) != len(want.ByAS) {
+		t.Fatalf("%s: %d ASes vs %d", label, len(got.ByAS), len(want.ByAS))
+	}
+	for asn, counts := range want.ByAS {
+		if !reflect.DeepEqual(got.ByAS[asn], counts) {
+			t.Fatalf("%s: AS%d bins %v vs %v", label, asn, got.ByAS[asn], counts)
+		}
+	}
+}
+
+// TestOutageStageEquivalence pins the tentpole contract: the per-AS
+// series accumulated by the ingest pipeline's outage stage — at any
+// shard count — is identical to replaying the world through
+// outage.BuildSeries, and so are the detected events.
+func TestOutageStageEquivalence(t *testing.T) {
+	w := singlePassWorld(t)
+	const bin = 6 * time.Hour
+
+	ref, err := outage.BuildSeries(w, bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEvents := outage.Detect(ref, outage.DefaultConfig())
+	if len(refEvents) == 0 {
+		t.Fatal("reference replay detected nothing; the equivalence would be vacuous")
+	}
+
+	for _, shards := range []int{1, 4, 16} {
+		p, err := New(StudyVantages())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := ingest.DefaultConfig(shards)
+		cfg.Stages = []ingest.StageFactory{
+			ingest.OutageSeries(w.ASDB, w.Origin, w.End, bin),
+		}
+		pipe, err := ingest.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		RunIngest(w, p, pipe)
+		pipe.Close()
+		stage, ok := pipe.Stage("outage").(*ingest.OutageSeriesStage)
+		if !ok {
+			t.Fatal("outage stage missing")
+		}
+		got := stage.Series()
+		assertSeriesEqual(t, "shards="+strconv.Itoa(shards), ref, got)
+		if events := outage.Detect(got, outage.DefaultConfig()); !reflect.DeepEqual(events, refEvents) {
+			t.Errorf("shards=%d: events %v vs %v", shards, events, refEvents)
+		}
+	}
+}
+
+// TestTrackingStoreEquivalence pins the other half of the single pass:
+// the §5 tracking analysis over the pipeline's merged Store — read live
+// after a snapshot, and again from the detached corpus after Close — is
+// identical to the analysis over a serial replay's collector.
+func TestTrackingStoreEquivalence(t *testing.T) {
+	w := singlePassWorld(t)
+
+	p, err := New(StudyVantages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := collector.New()
+	Run(w, p, serial, nil, time.Time{})
+	want := tracking.Analyze(serial, w.ASDB, w.Geo, w.OUI)
+	if len(want.MACs) == 0 {
+		t.Fatal("serial replay produced no EUI-64 MACs; the equivalence would be vacuous")
+	}
+
+	for _, shards := range []int{1, 4, 16} {
+		p2, err := New(StudyVantages())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, err := ingest.New(ingest.DefaultConfig(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		RunIngest(w, p2, pipe)
+
+		// Live read: snapshot every shard, wait for the merger to fold
+		// them all in, then analyze the store mid-life.
+		pipe.SnapshotNow()
+		deadline := time.Now().Add(10 * time.Second)
+		for pipe.Metrics().Snapshots < uint64(shards) {
+			if time.Now().After(deadline) {
+				t.Fatalf("shards=%d: merger never applied %d snapshots", shards, shards)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		live := tracking.AnalyzeStore(pipe.Store(), w.ASDB, w.Geo, w.OUI)
+		if !reflect.DeepEqual(want, live) {
+			t.Errorf("shards=%d: live store analysis differs from serial replay", shards)
+		}
+
+		// Closed read: the detached corpus must agree too.
+		closed := tracking.Analyze(pipe.Close(), w.ASDB, w.Geo, w.OUI)
+		if !reflect.DeepEqual(want, closed) {
+			t.Errorf("shards=%d: closed-corpus analysis differs from serial replay", shards)
+		}
+	}
+}

@@ -21,7 +21,14 @@ type Series struct {
 	Origin time.Time
 	Bin    time.Duration
 	Bins   int
-	ByAS   map[asdb.ASN][]int
+	// Complete is the number of leading bins fully covered by the
+	// collection window. A final bin that only partially overlaps the
+	// window carries genuinely lower volume and would read as a false
+	// outage, so Detect ignores bins at or past this index. 0 means
+	// unknown: every bin is treated as complete (the behaviour of
+	// hand-built series).
+	Complete int
+	ByAS     map[asdb.ASN][]int
 }
 
 // BuildSeries replays the world's NTP queries into per-AS time bins.
@@ -29,12 +36,16 @@ func BuildSeries(w *simnet.World, bin time.Duration) (*Series, error) {
 	if bin <= 0 {
 		return nil, fmt.Errorf("outage: bin must be positive")
 	}
-	total := int(w.End.Sub(w.Origin)/bin) + 1
+	window := w.End.Sub(w.Origin)
+	total := int(window/bin) + 1
 	s := &Series{
 		Origin: w.Origin,
 		Bin:    bin,
 		Bins:   total,
-		ByAS:   make(map[asdb.ASN][]int),
+		// The final bin extends past w.End (or, when bin divides the
+		// window exactly, lies entirely beyond it) — never complete.
+		Complete: int(window / bin),
+		ByAS:     make(map[asdb.ASN][]int),
 	}
 	w.GenerateQueries(func(q simnet.Query) {
 		as := w.ASDB.Lookup(q.Addr)
@@ -53,6 +64,78 @@ func BuildSeries(w *simnet.World, bin time.Duration) (*Series, error) {
 		counts[idx]++
 	})
 	return s, nil
+}
+
+// Rebin aggregates a series into coarser bins; bin must be a positive
+// multiple of s.Bin. Because both resolutions bin from the same origin,
+// floor(t/(k·b)) == floor(floor(t/b)/k), so rebinning the fine series
+// recorded by the ingest pipeline's outage stage reproduces BuildSeries
+// at the coarser width exactly — one recorded pass serves any detection
+// bin width. The input series is not modified.
+func Rebin(s *Series, bin time.Duration) (*Series, error) {
+	if bin <= 0 {
+		return nil, fmt.Errorf("outage: bin must be positive")
+	}
+	if s.Bin <= 0 || bin%s.Bin != 0 {
+		return nil, fmt.Errorf("outage: bin %v is not a multiple of the recorded resolution %v", bin, s.Bin)
+	}
+	k := int(bin / s.Bin)
+	if k == 1 {
+		out := *s
+		return &out, nil
+	}
+	out := &Series{
+		Origin:   s.Origin,
+		Bin:      bin,
+		Complete: s.Complete / k,
+		ByAS:     make(map[asdb.ASN][]int, len(s.ByAS)),
+	}
+	if s.Bins > 0 {
+		out.Bins = (s.Bins-1)/k + 1
+	}
+	for asn, counts := range s.ByAS {
+		coarse := make([]int, out.Bins)
+		for i, n := range counts {
+			idx := i / k
+			if idx >= len(coarse) {
+				break
+			}
+			coarse[idx] += n
+		}
+		out.ByAS[asn] = coarse
+	}
+	return out, nil
+}
+
+// Tail restricts the series to its last n complete bins (plus any
+// trailing incomplete ones): the rolling window a live detector scans
+// so that a long-running daemon's baseline tracks recent traffic. n <= 0,
+// or n covering the whole series, returns s unchanged. The returned
+// series shares count storage with s and must be treated as read-only.
+func (s *Series) Tail(n int) *Series {
+	complete := s.Complete
+	if complete <= 0 || complete > s.Bins {
+		complete = s.Bins
+	}
+	if n <= 0 || n >= complete {
+		return s
+	}
+	drop := complete - n
+	out := &Series{
+		Origin:   s.Origin.Add(time.Duration(drop) * s.Bin),
+		Bin:      s.Bin,
+		Bins:     s.Bins - drop,
+		Complete: n,
+		ByAS:     make(map[asdb.ASN][]int, len(s.ByAS)),
+	}
+	for asn, counts := range s.ByAS {
+		if len(counts) <= drop {
+			out.ByAS[asn] = nil
+			continue
+		}
+		out.ByAS[asn] = counts[drop:]
+	}
+	return out
 }
 
 // Config tunes detection.
@@ -101,6 +184,12 @@ func Detect(s *Series, cfg Config) []Event {
 
 	for _, asn := range asns {
 		counts := s.ByAS[asn]
+		// Exclude the trailing incomplete bin(s): their volume is low
+		// because the window ends mid-bin, not because the AS went dark,
+		// and they would also drag the median baseline down.
+		if n := s.Complete; n > 0 && n < len(counts) {
+			counts = counts[:n]
+		}
 		med := median(counts)
 		if med < float64(cfg.MinMedian) {
 			continue

@@ -140,6 +140,166 @@ func TestDetectRunAtSeriesEnd(t *testing.T) {
 	}
 }
 
+func TestBuildSeriesMarksTrailingBinIncomplete(t *testing.T) {
+	w, _, _ := outageWorld(t)
+	// 20 days / 7h does not divide evenly: the final bin is short.
+	s, err := BuildSeries(w, 7*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Complete != s.Bins-1 {
+		t.Errorf("Complete %d, want Bins-1 = %d", s.Complete, s.Bins-1)
+	}
+	// 20 days / 6h divides evenly: the extra final bin lies entirely
+	// past the window and must also be excluded.
+	s, err = BuildSeries(w, 6*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int(w.End.Sub(w.Origin) / (6 * time.Hour)); s.Complete != want || s.Bins != want+1 {
+		t.Errorf("Complete %d Bins %d, want %d and %d", s.Complete, s.Bins, want, want+1)
+	}
+}
+
+func TestDetectIgnoresIncompleteTrailingBin(t *testing.T) {
+	// Bin 10 is genuinely dark; bin 11 is a short partial bin whose low
+	// volume is a window artifact. Without the Complete cutoff the two
+	// together would form a >= MinBins run and report a false outage.
+	counts := make([]int, 12)
+	for i := range counts {
+		counts[i] = 100
+	}
+	counts[10], counts[11] = 0, 3
+	s := &Series{
+		Bin: time.Hour, Bins: 12, Complete: 11,
+		ByAS: map[asdb.ASN][]int{42: counts},
+	}
+	if events := Detect(s, DefaultConfig()); len(events) != 0 {
+		t.Errorf("partial trailing bin flagged as outage: %v", events)
+	}
+	// The same series with no completeness information (hand-built,
+	// legacy behaviour) does report it — the boundary the fix moves.
+	s.Complete = 0
+	if events := Detect(s, DefaultConfig()); len(events) != 1 {
+		t.Errorf("legacy all-complete series: %v", events)
+	}
+	// A real dark run ending at the completeness boundary still reports.
+	counts[9] = 0
+	s.Complete = 11
+	events := Detect(s, DefaultConfig())
+	if len(events) != 1 || events[0].DarkBins != 2 {
+		t.Errorf("dark run at boundary: %v", events)
+	}
+}
+
+func TestRebin(t *testing.T) {
+	base := &Series{
+		Origin: time.Date(2022, 1, 25, 0, 0, 0, 0, time.UTC),
+		Bin:    time.Hour, Bins: 8, Complete: 7,
+		ByAS: map[asdb.ASN][]int{
+			1: {1, 2, 3, 4, 5, 6, 7, 8},
+			2: {1, 0, 0, 0, 0, 0, 0, 0},
+		},
+	}
+	got, err := Rebin(base, 3*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bins != 3 || got.Complete != 2 || got.Bin != 3*time.Hour {
+		t.Fatalf("rebinned shape: bins %d complete %d bin %v", got.Bins, got.Complete, got.Bin)
+	}
+	if want := []int{6, 15, 15}; !equalInts(got.ByAS[1], want) {
+		t.Errorf("AS1 bins %v, want %v", got.ByAS[1], want)
+	}
+	if want := []int{1, 0, 0}; !equalInts(got.ByAS[2], want) {
+		t.Errorf("AS2 bins %v, want %v", got.ByAS[2], want)
+	}
+	if same, err := Rebin(base, time.Hour); err != nil || same.Bins != base.Bins {
+		t.Errorf("identity rebin: %v %v", same, err)
+	}
+	if _, err := Rebin(base, 0); err == nil {
+		t.Error("zero bin should fail")
+	}
+	if _, err := Rebin(base, 90*time.Minute); err == nil {
+		t.Error("non-multiple bin should fail")
+	}
+}
+
+// TestRebinMatchesBuildSeries pins the single-pass contract: rebinning
+// a fine recorded series reproduces building the coarse series from the
+// raw stream directly.
+func TestRebinMatchesBuildSeries(t *testing.T) {
+	w, _, _ := outageWorld(t)
+	base, err := BuildSeries(w, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bin := range []time.Duration{time.Hour, 6 * time.Hour, 7 * time.Hour, 24 * time.Hour} {
+		direct, err := BuildSeries(w, bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rebinned, err := Rebin(base, bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rebinned.Bins != direct.Bins || rebinned.Complete != direct.Complete {
+			t.Errorf("bin %v: shape (%d,%d) vs direct (%d,%d)",
+				bin, rebinned.Bins, rebinned.Complete, direct.Bins, direct.Complete)
+		}
+		if !rebinned.Origin.Equal(direct.Origin) {
+			t.Errorf("bin %v: origin %v vs %v", bin, rebinned.Origin, direct.Origin)
+		}
+		if len(rebinned.ByAS) != len(direct.ByAS) {
+			t.Fatalf("bin %v: %d ASes vs %d", bin, len(rebinned.ByAS), len(direct.ByAS))
+		}
+		for asn, want := range direct.ByAS {
+			if !equalInts(rebinned.ByAS[asn], want) {
+				t.Errorf("bin %v AS%d: %v vs %v", bin, asn, rebinned.ByAS[asn], want)
+			}
+		}
+	}
+}
+
+func TestSeriesTail(t *testing.T) {
+	s := &Series{
+		Origin: time.Date(2022, 1, 25, 0, 0, 0, 0, time.UTC),
+		Bin:    time.Hour, Bins: 6, Complete: 5,
+		ByAS: map[asdb.ASN][]int{
+			1: {10, 20, 30, 40, 50, 3},
+			2: {1},
+		},
+	}
+	got := s.Tail(2)
+	if got.Bins != 3 || got.Complete != 2 {
+		t.Fatalf("tail shape: bins %d complete %d", got.Bins, got.Complete)
+	}
+	if want := s.Origin.Add(3 * time.Hour); !got.Origin.Equal(want) {
+		t.Errorf("tail origin %v, want %v", got.Origin, want)
+	}
+	if want := []int{40, 50, 3}; !equalInts(got.ByAS[1], want) {
+		t.Errorf("tail AS1 %v, want %v", got.ByAS[1], want)
+	}
+	if len(got.ByAS[2]) != 0 {
+		t.Errorf("AS entirely before the window should be empty, got %v", got.ByAS[2])
+	}
+	if s.Tail(0) != s || s.Tail(5) != s || s.Tail(99) != s {
+		t.Error("no-op tails should return the series unchanged")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestMedian(t *testing.T) {
 	if m := median(nil); m != 0 {
 		t.Errorf("empty median: %v", m)

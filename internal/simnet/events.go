@@ -26,10 +26,18 @@ type Query struct {
 // The callback receives the query's source address already resolved
 // against prefix rotation, roaming and ephemeral-IID schedules.
 func (w *World) GenerateQueries(fn func(Query)) {
+	w.replays.Add(1)
 	for _, d := range w.devices {
 		w.generateDeviceQueries(d, fn)
 	}
 }
+
+// Replays returns how many times the world's query stream has been
+// generated (GenerateQueries / GenerateQueriesParallel calls). Replays
+// are the O(world) cost a single-pass architecture amortizes: the study
+// asserts one replay feeds collection, outage detection and tracking
+// alike.
+func (w *World) Replays() uint64 { return w.replays.Load() }
 
 func (w *World) generateDeviceQueries(d *Device, fn func(Query)) {
 	if d.rate <= 0 || !d.usesPool {
@@ -67,6 +75,7 @@ func (w *World) CountQueries() int {
 // The per-device query order is preserved within a shard. shards < 1 is
 // treated as 1.
 func (w *World) GenerateQueriesParallel(shards int, fn func(shard int, q Query)) {
+	w.replays.Add(1)
 	if shards < 1 {
 		shards = 1
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"hitlist6/internal/addr"
@@ -27,6 +28,9 @@ type World struct {
 	asByASN map[asdb.ASN]*asNet
 	devices []*Device
 	sites   []*Site
+
+	// replays counts query-stream generations; see Replays.
+	replays atomic.Uint64
 }
 
 // asNet is the runtime state of one AS.
@@ -167,14 +171,51 @@ func validateASConfig(ac ASConfig) error {
 	return nil
 }
 
+// routedPrefixFor returns the routed prefix and /32-aligned slab base
+// of the idx-th configured AS: each AS owns a disjoint /32 slab under
+// 2400::/12 and announces its first RoutedBits. Both Build and
+// BuildASDB derive routing state from this one rule, so a routing DB
+// built without a world attributes a world's addresses identically.
+func routedPrefixFor(idx int, ac ASConfig) (addr.Prefix, uint64, error) {
+	baseHi := uint64(0x24000000+idx) << 32
+	p, err := addr.NewPrefix(addr.FromParts(baseHi, 0), ac.RoutedBits)
+	return p, baseHi, err
+}
+
+// BuildASDB constructs only the routing database of a config's AS
+// topology — the ASN/prefix/name/country table a full Build would
+// produce, without sites, devices or churn. Live consumers attributing
+// an external event stream to ASes (cmd/ingestd's outage detector) use
+// it to avoid paying for world construction.
+func BuildASDB(cfg Config) (*asdb.DB, error) {
+	db := asdb.NewDB()
+	for i, ac := range cfg.ASes {
+		if err := validateASConfig(ac); err != nil {
+			return nil, fmt.Errorf("simnet: AS %d (%s): %w", ac.ASN, ac.Name, err)
+		}
+		routed, _, err := routedPrefixFor(i, ac)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.AddAS(asdb.AS{
+			ASN: ac.ASN, Name: ac.Name, Country: ac.Country, Type: ac.Type,
+			Prefixes: []addr.Prefix{routed},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
 func (w *World) buildAS(idx int, ac ASConfig, rng *rand.Rand) (*asNet, error) {
-	// Each AS owns a disjoint /32 slab under 2400::/12; its routed prefix
-	// is the first /RoutedBits of the slab.
-	slab := uint64(0x24000000 + idx)
+	routed, baseHi, err := routedPrefixFor(idx, ac)
+	if err != nil {
+		return nil, err
+	}
 	n := &asNet{
 		cfg:       ac,
 		seed:      hash2(uint64(w.cfg.Seed), uint64(ac.ASN)),
-		baseHi:    slab << 32,
+		baseHi:    baseHi,
 		halfBit:   1 << (63 - ac.RoutedBits),
 		slotBits:  ac.DelegationBits - ac.RoutedBits - 1,
 		slotShift: uint(64 - ac.DelegationBits),
@@ -196,10 +237,6 @@ func (w *World) buildAS(idx int, ac ASConfig, rng *rand.Rand) (*asNet, error) {
 		})
 	}
 
-	routed, err := addr.NewPrefix(addr.FromParts(n.baseHi, 0), ac.RoutedBits)
-	if err != nil {
-		return nil, err
-	}
 	if err := w.ASDB.AddAS(asdb.AS{
 		ASN: ac.ASN, Name: ac.Name, Country: ac.Country, Type: ac.Type,
 		Prefixes: []addr.Prefix{routed},

@@ -178,6 +178,22 @@ func Analyze(c *collector.Collector, db *asdb.DB, geo *geodb.DB, reg *oui.Regist
 	return a
 }
 
+// AnalyzeStore runs Analyze over the live merged view of a sharded
+// ingest run: the Store-reader form of the §5 analysis, usable while
+// collection is still in flight (the result reflects the snapshots
+// merged so far, and after Pipeline.Close it is the complete corpus).
+// Consuming the store instead of replaying the world is what makes
+// tracking a zero-extra-pass consumer of the single ingest pass; the
+// result for a finished run is identical to Analyze over a serial
+// replay's collector because shard merges are lossless.
+func AnalyzeStore(s *collector.Store, db *asdb.DB, geo *geodb.DB, reg *oui.Registry) *Analysis {
+	var a *Analysis
+	s.View(func(c *collector.Collector) {
+		a = Analyze(c, db, geo, reg)
+	})
+	return a
+}
+
 func macLess(x, y addr.MAC) bool {
 	for i := 0; i < 6; i++ {
 		if x[i] != y[i] {

@@ -10,6 +10,14 @@ func TestDetectOutagesAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Detection reads the series recorded during collection — calling it
+	// earlier is an error, not a hidden replay.
+	if _, err := s.DetectOutages(12 * time.Hour); err == nil {
+		t.Error("DetectOutages before CollectPassive should fail")
+	}
+	if err := s.CollectPassive(); err != nil {
+		t.Fatal(err)
+	}
 	// The default world has no injected outages; the detector must not
 	// hallucinate large events for busy ASes.
 	events, err := s.DetectOutages(12 * time.Hour)
@@ -23,5 +31,10 @@ func TestDetectOutagesAPI(t *testing.T) {
 	}
 	if _, err := s.DetectOutages(0); err == nil {
 		t.Error("zero bin should fail")
+	}
+	// The recorded resolution is Config.OutageBin (1h default): widths
+	// that are not multiples cannot be rebinned exactly and must error.
+	if _, err := s.DetectOutages(90 * time.Minute); err == nil {
+		t.Error("non-multiple bin should fail")
 	}
 }

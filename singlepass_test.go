@@ -1,0 +1,54 @@
+package hitlist6
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"hitlist6/internal/outage"
+)
+
+// TestStudySinglePass pins the PR's acceptance contract: after the one
+// CollectPassive replay, outage detection and tracking are pure readers
+// of pipeline outputs — zero further GenerateQueries passes — and the
+// detector's events are identical to the old replay-based path.
+func TestStudySinglePass(t *testing.T) {
+	s, err := NewStudy(testConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CollectPassive(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.World.Replays(); got != 1 {
+		t.Fatalf("CollectPassive used %d replays, want 1", got)
+	}
+
+	events, err := s.DetectOutages(6 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Tracking(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Geolocation(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.OutageSeries == nil || len(s.OutageSeries.ByAS) == 0 {
+		t.Fatal("no outage series recorded during collection")
+	}
+	if got := s.World.Replays(); got != 1 {
+		t.Errorf("analyses replayed the world: %d replays after DetectOutages+Tracking+Geolocation, want 1", got)
+	}
+
+	// Equivalence against the replay-based reference (the reference
+	// itself replays, which is fine — it is the thing being replaced).
+	ref, err := outage.BuildSeries(s.World, 6*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := outage.Detect(ref, outage.DefaultConfig())
+	if !reflect.DeepEqual(events, want) {
+		t.Errorf("single-pass events %v differ from replay-based %v", events, want)
+	}
+}

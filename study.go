@@ -57,6 +57,11 @@ type Config struct {
 	// selects an automatic per-machine value. The merged corpus is
 	// byte-identical for every shard count, so this only affects speed.
 	IngestShards int
+	// OutageBin is the base resolution of the per-AS outage series
+	// recorded during CollectPassive; DetectOutages accepts any multiple
+	// of it. It must be a positive whole number of seconds. 0 selects
+	// one hour.
+	OutageBin time.Duration
 }
 
 // DefaultConfig returns the paper-shaped study at moderate scale.
@@ -68,6 +73,7 @@ func DefaultConfig() Config {
 		SliceDay:      157,
 		HitlistRounds: 4,
 		BackscanDays:  7,
+		OutageBin:     time.Hour,
 	}
 }
 
@@ -79,9 +85,12 @@ type Study struct {
 	Pool   *ntppool.Pool
 
 	// Collector holds the full passive corpus; DayCollector the
-	// single-day slice.
+	// single-day slice. OutageSeries is the per-AS time-binned query
+	// series at Config.OutageBin resolution — all three are outputs of
+	// the same single ingest pass.
 	Collector    *collector.Collector
 	DayCollector *collector.Collector
+	OutageSeries *outage.Series
 	DayStart     time.Time
 	RunStats     ntppool.RunStats
 
@@ -93,6 +102,19 @@ type Study struct {
 	CAIDA   *hitlist.Dataset
 }
 
+// normalizeOutageBin is the single owner of the Config.OutageBin rule:
+// 0 selects one hour; the result must be a positive whole number of
+// seconds (the event stream's timestamp resolution).
+func normalizeOutageBin(bin time.Duration) (time.Duration, error) {
+	if bin == 0 {
+		bin = time.Hour
+	}
+	if bin < 0 || bin%time.Second != 0 {
+		return 0, fmt.Errorf("hitlist6: OutageBin %v must be a positive whole number of seconds", bin)
+	}
+	return bin, nil
+}
+
 // NewStudy builds the simulated Internet for a configuration.
 func NewStudy(cfg Config) (*Study, error) {
 	if cfg.Days <= 0 {
@@ -101,6 +123,11 @@ func NewStudy(cfg Config) (*Study, error) {
 	if cfg.IngestShards < 0 {
 		return nil, fmt.Errorf("hitlist6: IngestShards must be >= 0")
 	}
+	bin, err := normalizeOutageBin(cfg.OutageBin)
+	if err != nil {
+		return nil, err
+	}
+	cfg.OutageBin = bin
 	if cfg.SliceDay < 0 || cfg.SliceDay >= cfg.Days {
 		cfg.SliceDay = cfg.Days / 2
 	}
@@ -128,24 +155,45 @@ func NewStudy(cfg Config) (*Study, error) {
 // order-dependent round-robin), but all per-sighting collector and
 // enrichment work runs across Config.IngestShards shards; the merged
 // corpus is identical to a serial ntppool.Run for any shard count.
-func (s *Study) CollectPassive() {
+//
+// This is the study's single pass over the world: the full corpus, the
+// single-day slice and the outage series all fall out of it, so every
+// later analysis — DetectOutages, Tracking, Geolocation, the figures —
+// reads pipeline outputs without replaying.
+func (s *Study) CollectPassive() error {
+	// NewStudy already normalized Config.OutageBin; re-normalizing here
+	// only guards against the exported field being mutated afterwards
+	// (the stage factory would otherwise panic on an invalid bin).
+	bin, err := normalizeOutageBin(s.Config.OutageBin)
+	if err != nil {
+		return err
+	}
 	dayEnd := s.DayStart.Add(24 * time.Hour)
 	cfg := ingest.DefaultConfig(s.Config.IngestShards)
 	cfg.Stages = []ingest.StageFactory{
 		ingest.DaySlice(s.DayStart.Unix(), dayEnd.Unix()),
+		ingest.OutageSeries(s.World.ASDB, s.World.Origin, s.World.End, bin),
 	}
 	pipe, err := ingest.New(cfg)
 	if err != nil {
-		// Unreachable: NewStudy rejects negative shard counts and every
-		// other pipeline parameter here is a default.
-		panic(err)
+		return fmt.Errorf("hitlist6: ingest pipeline: %w", err)
 	}
 	s.RunStats = ntppool.RunIngest(s.World, s.Pool, pipe)
 	s.Collector = pipe.Close()
-	s.DayCollector = pipe.Stage("dayslice").(*ingest.DaySliceStage).Col
+	day, ok := pipe.Stage("dayslice").(*ingest.DaySliceStage)
+	if !ok {
+		return fmt.Errorf("hitlist6: ingest pipeline returned no day-slice stage")
+	}
+	s.DayCollector = day.Col
+	series, ok := pipe.Stage("outage").(*ingest.OutageSeriesStage)
+	if !ok {
+		return fmt.Errorf("hitlist6: ingest pipeline returned no outage-series stage")
+	}
+	s.OutageSeries = series.Series()
 	s.RunStats.UniqueClients = s.Collector.NumAddrs()
 	s.NTP = hitlist.FromCollector("NTP Pool (passive)", s.Collector)
 	s.NTPDay = hitlist.FromCollector("NTP Pool (1-day slice)", s.DayCollector)
+	return nil
 }
 
 // BuildActive runs the two active campaigns: the IPv6-Hitlist-style
@@ -171,10 +219,12 @@ func (s *Study) BuildActive() error {
 	return nil
 }
 
-// Run executes the whole study: passive collection then both active
-// campaigns.
+// Run executes the whole study: the single passive-collection pass,
+// then both active campaigns.
 func (s *Study) Run() error {
-	s.CollectPassive()
+	if err := s.CollectPassive(); err != nil {
+		return err
+	}
 	return s.BuildActive()
 }
 
@@ -291,16 +341,24 @@ func Figure3(stats *scan.BackscanStats) (hit, miss, random []float64) {
 }
 
 // DetectOutages runs the passive outage detector (a §1 application of
-// large hitlists) over the study's query stream with the given bin width.
+// large hitlists) over the outage series recorded during the single
+// CollectPassive pass — no replay. bin must be a multiple of
+// Config.OutageBin; the rebinned series (and hence the detected events)
+// are identical to binning the raw query stream at that width directly.
 func (s *Study) DetectOutages(bin time.Duration) ([]outage.Event, error) {
-	series, err := outage.BuildSeries(s.World, bin)
+	if s.OutageSeries == nil {
+		return nil, fmt.Errorf("hitlist6: passive collection has not run")
+	}
+	series, err := outage.Rebin(s.OutageSeries, bin)
 	if err != nil {
 		return nil, err
 	}
 	return outage.Detect(series, outage.DefaultConfig()), nil
 }
 
-// Tracking runs the §5.1/§5.2 EUI-64 analysis over the passive corpus.
+// Tracking runs the §5.1/§5.2 EUI-64 analysis over the passive corpus —
+// the merged output of the ingest pipeline, consumed directly with no
+// further pass over the world.
 func (s *Study) Tracking() (*tracking.Analysis, error) {
 	if s.Collector == nil {
 		return nil, fmt.Errorf("hitlist6: passive collection has not run")
