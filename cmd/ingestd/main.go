@@ -213,8 +213,9 @@ func main() {
 	<-sig
 
 	m := pipe.Metrics()
-	fmt.Fprintf(os.Stderr, "\ningestd: %d processed, %d dropped, %d malformed; unique addrs %d\n",
-		m.Processed, m.Dropped, badLines.Load(), pipe.Store().NumAddrs())
+	fmt.Fprintf(os.Stderr, "\ningestd: %d processed, %d dropped, %d malformed; unique addrs %d; corpus %.1f MB (%.0f B/addr)\n",
+		m.Processed, m.Dropped, badLines.Load(), pipe.Store().NumAddrs(),
+		float64(m.CorpusBytes)/(1<<20), m.BytesPerAddr)
 }
 
 // statsReply is the /stats JSON shape.

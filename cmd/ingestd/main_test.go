@@ -3,6 +3,7 @@ package main
 import (
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"hitlist6/internal/ingest"
 )
@@ -42,6 +43,37 @@ func TestIngestDatagramSkipsBlankFragments(t *testing.T) {
 	if got := pipe.Close().TotalObservations(); got != 4 {
 		t.Errorf("merged %d observations, want 4", got)
 	}
+}
+
+// TestStatsCarriesCorpusTelemetry pins the /stats reply contract: after
+// events land in the merged store, the embedded metrics must expose the
+// memory telemetry of the flat corpus layout alongside the rates.
+func TestStatsCarriesCorpusTelemetry(t *testing.T) {
+	pipe, err := ingest.New(ingest.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := pipe.NewBatcher()
+	var bad atomic.Uint64
+	ingestDatagram(b, []byte("1643673600 2001:db8::1 3\n1643673601 2001:db8::2 4\n"), &bad)
+	b.Flush()
+	pipe.SnapshotNow()
+	// The merge completes asynchronously after the shard handoff.
+	deadline := time.Now().Add(5 * time.Second)
+	for pipe.Store().NumAddrs() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("store never saw the ingested events")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	reply := buildStats(pipe)
+	if reply.UniqueAddrs != 2 {
+		t.Fatalf("unique addrs %d, want 2", reply.UniqueAddrs)
+	}
+	if reply.Metrics.CorpusBytes == 0 || reply.Metrics.BytesPerAddr <= 0 {
+		t.Errorf("corpus telemetry missing: %+v", reply.Metrics)
+	}
+	pipe.Close()
 }
 
 // TestDetectOutagesEndpointShape exercises the /outages reply builder

@@ -216,5 +216,16 @@ func (a Addr) IID() IID { return IID(a.Lo()) }
 // IsZero reports whether the address is all zeros ("::").
 func (a Addr) IsZero() bool { return a == Addr{} }
 
+// Less reports whether a sorts before b in canonical (numeric) order:
+// the one definition of "sorted addresses" shared by the collector's
+// canonical encoding, dataset serialization and deterministic campaign
+// ordering.
+func (a Addr) Less(b Addr) bool {
+	if ha, hb := a.Hi(), b.Hi(); ha != hb {
+		return ha < hb
+	}
+	return a.Lo() < b.Lo()
+}
+
 // WithIID returns a copy of the address with its lower 64 bits replaced.
 func (a Addr) WithIID(iid IID) Addr { return FromParts(a.Hi(), uint64(iid)) }

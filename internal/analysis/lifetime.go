@@ -18,7 +18,7 @@ var LifetimeMarks = []time.Duration{
 // in seconds (Figure 2a's CCDF input).
 func AddressLifetimes(c *collector.Collector) *stats.Distribution {
 	samples := make([]float64, 0, c.NumAddrs())
-	c.Addrs(func(_ addr.Addr, r *collector.AddrRecord) bool {
+	c.Addrs(func(_ addr.Addr, r collector.AddrRecord) bool {
 		samples = append(samples, r.Lifetime().Seconds())
 		return true
 	})
@@ -70,7 +70,7 @@ type Figure2b struct {
 // ComputeFigure2b evaluates Figure 2b from the collector.
 func ComputeFigure2b(c *collector.Collector) *Figure2b {
 	samples := map[addr.EntropyClass][]float64{}
-	c.IIDs(func(iid addr.IID, r *collector.IIDRecord) bool {
+	c.IIDs(func(iid addr.IID, r collector.IIDView) bool {
 		cls := iid.EntropyClass()
 		samples[cls] = append(samples[cls], r.Lifetime().Seconds())
 		return true

@@ -10,13 +10,48 @@ import (
 	"hitlist6/internal/addr"
 )
 
+// sortedAddrIdx returns the address slab indices in canonical order
+// (ascending by the 128-bit address value).
+func (c *Collector) sortedAddrIdx() []uint32 {
+	idx := make([]uint32, c.addrRecs.n)
+	for i := range idx {
+		idx[i] = uint32(i)
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		return c.addrRecs.at(idx[i]).key.Less(c.addrRecs.at(idx[j]).key)
+	})
+	return idx
+}
+
+// iidRefPair couples an IID with its table reference for sorting.
+type iidRefPair struct {
+	key addr.IID
+	ref uint32
+}
+
+// sortedIIDRefs returns every IID (promoted and singleton) with its
+// reference, in ascending IID order.
+func (c *Collector) sortedIIDRefs() []iidRefPair {
+	out := make([]iidRefPair, 0, c.iidUsed)
+	for _, v := range c.iidIdx {
+		if v == 0 {
+			continue
+		}
+		ref := v - 1
+		out = append(out, iidRefPair{key: c.iidKeyOf(ref), ref: ref})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
 // WriteCanonical writes a deterministic binary encoding of the corpus:
 // every (address, record) pair sorted by address, then every (IID,
 // record) pair sorted by IID with per-/64 spans sorted by prefix. Two
 // collectors hold identical observations if and only if their canonical
 // encodings are byte-identical — regardless of insertion order, shard
-// count or merge schedule. This is the ground truth the sharded-ingest
-// equivalence tests assert on.
+// count, merge schedule or storage layout (the encoding predates the
+// flat-slab engine and is pinned by a golden-checksum test). This is the
+// ground truth the sharded-ingest equivalence tests assert on.
 func (c *Collector) WriteCanonical(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	var scratch [8]byte
@@ -27,54 +62,45 @@ func (c *Collector) WriteCanonical(w io.Writer) error {
 
 	putU64(c.total)
 
-	addrs := make([]addr.Addr, 0, len(c.addrs))
-	for a := range c.addrs {
-		addrs = append(addrs, a)
-	}
-	sort.Slice(addrs, func(i, j int) bool {
-		ai, aj := addrs[i], addrs[j]
-		if hi, hj := ai.Hi(), aj.Hi(); hi != hj {
-			return hi < hj
-		}
-		return ai.Lo() < aj.Lo()
-	})
-	putU64(uint64(len(addrs)))
-	for _, a := range addrs {
-		r := c.addrs[a]
-		bw.Write(a[:])
-		putU64(uint64(r.First))
-		putU64(uint64(r.Last))
-		putU64(uint64(r.Count))
-		putU64(uint64(r.Servers))
+	addrIdx := c.sortedAddrIdx()
+	putU64(uint64(len(addrIdx)))
+	for _, ri := range addrIdx {
+		e := c.addrRecs.at(ri)
+		bw.Write(e.key[:])
+		putU64(uint64(e.rec.First))
+		putU64(uint64(e.rec.Last))
+		putU64(uint64(e.rec.Count))
+		putU64(uint64(e.rec.Servers))
 	}
 
-	iids := make([]addr.IID, 0, len(c.iids))
-	for iid := range c.iids {
-		iids = append(iids, iid)
-	}
-	sort.Slice(iids, func(i, j int) bool { return iids[i] < iids[j] })
+	iids := c.sortedIIDRefs()
 	putU64(uint64(len(iids)))
-	for _, iid := range iids {
-		r := c.iids[iid]
-		putU64(uint64(iid))
-		putU64(uint64(r.First))
-		putU64(uint64(r.Last))
-		putU64(uint64(r.Count))
-		if r.P64s == nil {
+	var p64s []spanNode // scratch, reused across IIDs
+	for _, p := range iids {
+		v := IIDView{c: c, ref: p.ref}
+		first, last, count := v.summary()
+		putU64(uint64(p.key))
+		putU64(uint64(first))
+		putU64(uint64(last))
+		putU64(uint64(count))
+		r := v.promoted()
+		if r == nil || r.spans == spanNone {
+			// Untracked IIDs encode as the seed layout's nil span map.
 			putU64(0xffffffffffffffff)
 			continue
 		}
-		p64s := make([]addr.Prefix64, 0, len(r.P64s))
-		for p := range r.P64s {
-			p64s = append(p64s, p)
+		p64s = p64s[:0]
+		for i := r.spans; i != spanNone; {
+			n := c.spans.at(i)
+			p64s = append(p64s, *n)
+			i = n.next
 		}
-		sort.Slice(p64s, func(i, j int) bool { return uint64(p64s[i]) < uint64(p64s[j]) })
+		sort.Slice(p64s, func(i, j int) bool { return uint64(p64s[i].p64) < uint64(p64s[j].p64) })
 		putU64(uint64(len(p64s)))
-		for _, p := range p64s {
-			sp := r.P64s[p]
-			putU64(uint64(p))
-			putU64(uint64(sp.First))
-			putU64(uint64(sp.Last))
+		for _, n := range p64s {
+			putU64(uint64(n.p64))
+			putU64(uint64(n.first))
+			putU64(uint64(n.last))
 		}
 	}
 	return bw.Flush()

@@ -4,14 +4,34 @@
 // servers that saw it; EUI-64 IIDs additionally carry their per-/64
 // sighting spans, which power the tracking analyses of §5.
 //
-// The store is deliberately compact: one fixed-size record per unique
-// address keyed on the 16-byte address value, and per-/64 span maps only
-// for the EUI-64 subset (3% of the paper's corpus). It is written by a
-// single goroutine (the query replay) and read by many.
+// The store is deliberately compact: a bespoke storage engine rather
+// than maps of pointers. Records live inline — key and value together —
+// in growable chunked slabs, indexed by open-addressing tables of uint32
+// slab offsets, so the hot path performs no per-record heap allocation.
+// Two observations about the corpus shape pay for most of the bytes:
+//
+//   - Nearly every IID appears under exactly one address (random IIDs
+//     collide across /64s only by chance), and such an IID's aggregate
+//     — first/last/count — is definitionally identical to its address's
+//     record. Singleton IIDs therefore cost one 4-byte table slot
+//     pointing at the address entry; a real IID record is materialized
+//     ("promoted") only when a second address shares the IID or the IID
+//     is EUI-64 and needs /64 tracking.
+//
+//   - Per-/64 spans for the EUI-64 subset (3% of the paper's corpus)
+//     live in a shared span slab chained by index: a few machine words
+//     per /64 instead of a nested map header plus pointers.
+//
+// No slab entry contains a pointer, which keeps the garbage collector
+// out of the picture entirely — the property that lets a single machine
+// hold hundreds of millions of records without GC pressure becoming the
+// throughput ceiling. The collector is written by a single goroutine
+// (the query replay) and read by many.
 package collector
 
 import (
 	"time"
+	"unsafe"
 
 	"hitlist6/internal/addr"
 )
@@ -36,7 +56,9 @@ func ServerBit(server int) uint32 {
 	return 1 << uint(server)
 }
 
-// AddrRecord summarizes all sightings of one source address.
+// AddrRecord summarizes all sightings of one source address. It is a
+// plain value: the collector stores records inline and hands out copies,
+// so holding one never pins collector internals.
 type AddrRecord struct {
 	// First and Last are Unix seconds of the first and last sighting.
 	First, Last int64
@@ -58,34 +80,359 @@ type Span struct {
 	First, Last int64
 }
 
-// IIDRecord aggregates sightings of one Interface Identifier across all
-// addresses carrying it. For EUI-64 IIDs, P64s maps each /64 the IID
-// appeared in to its sighting span — the raw material for §5.2.
-type IIDRecord struct {
-	First, Last int64
-	Count       uint32
-	// P64s is nil for non-EUI-64 IIDs (kept only where tracking applies).
-	P64s map[addr.Prefix64]*Span
+// ---- chunked record slabs ----
+
+// Slab geometry: the first chunk grows by appending (so small collectors
+// — shard privates, day slices, tests — stay small), and once it reaches
+// chunkSize further chunks are allocated at full capacity and never
+// moved. Growth therefore copies at most chunkSize records ever, and
+// cumulative allocation stays within a small constant of the final
+// footprint — unlike append-doubling, whose churn rivals the corpus
+// itself at hundreds of millions of records.
+const (
+	chunkBits = 15
+	chunkSize = 1 << chunkBits
+	chunkMask = chunkSize - 1
+)
+
+// slab is a growable array of inline records addressed by uint32 index.
+type slab[T any] struct {
+	head   []T   // first chunk; grows by append up to chunkSize
+	chunks [][]T // subsequent chunks, each allocated at chunkSize cap
+	n      uint32
 }
 
-// Lifetime returns the IID's observed lifetime (paper Fig 2b, 6a).
-func (r *IIDRecord) Lifetime() time.Duration {
-	return time.Duration(r.Last-r.First) * time.Second
+// alloc appends a zero record and returns its index.
+func (s *slab[T]) alloc() uint32 {
+	var zero T
+	i := s.n
+	if i < chunkSize {
+		s.head = append(s.head, zero)
+	} else {
+		ci := int((i - chunkSize) >> chunkBits)
+		if ci == len(s.chunks) {
+			s.chunks = append(s.chunks, make([]T, 0, chunkSize))
+		}
+		s.chunks[ci] = append(s.chunks[ci], zero)
+	}
+	s.n++
+	return i
 }
 
-// Collector accumulates observations. Not safe for concurrent writes.
+// at returns the record at index i. The pointer stays valid until the
+// slab's owning chunk grows — only the first chunk ever moves, so
+// holding a pointer across alloc calls on another slab is safe.
+func (s *slab[T]) at(i uint32) *T {
+	if i < chunkSize {
+		return &s.head[i]
+	}
+	j := i - chunkSize
+	return &s.chunks[j>>chunkBits][j&chunkMask]
+}
+
+// bytes returns the slab's resident size.
+func (s *slab[T]) bytes() uint64 {
+	var zero T
+	size := uint64(unsafe.Sizeof(zero))
+	n := uint64(cap(s.head))
+	for _, c := range s.chunks {
+		n += uint64(cap(c))
+	}
+	return n * size
+}
+
+// ---- open-addressing index tables ----
+
+// tableInit is the initial slot count of an index table (power of two).
+const tableInit = 16
+
+// growTable reports whether an index with used entries out of len slots
+// needs to grow before the next insert (load factor 3/4). The math is
+// 64-bit so tables past 2^32 slots keep comparing correctly.
+func growTable(used uint64, slots int) bool {
+	return slots == 0 || used >= uint64(slots)-uint64(slots)/4
+}
+
+// mix64 is the SplitMix64 finalizer: the hash behind the IID table and
+// prefix sets (addresses use addr.Hash64, which mixes both halves).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// addrEntry is one inline (address, record) pair in the address slab.
+type addrEntry struct {
+	key addr.Addr
+	rec AddrRecord
+}
+
+// spanNone marks an IID record without /64 tracking (non-EUI-64 IIDs).
+// Tracked records always chain at least one span node, so the sentinel
+// doubles as the "tracked?" flag.
+const spanNone = ^uint32(0)
+
+// iidEntry is one inline promoted IID record. first/last/count summarize
+// all sightings; spans heads the IID's chain in the shared span slab
+// (spanNone when the IID is not EUI-64); p64n counts distinct /64s so
+// prefix-spread queries are O(1).
+type iidEntry struct {
+	key         addr.IID
+	first, last int64
+	count       uint32
+	spans       uint32
+	p64n        uint32
+}
+
+// spanNode is one /64 sighting window in the shared span slab. next
+// chains the nodes of one IID by slab index, terminated by spanNone.
+type spanNode struct {
+	p64         addr.Prefix64
+	first, last int64
+	next        uint32
+}
+
+// promotedTag marks an IID reference as an index into the promoted IID
+// slab; without it the reference indexes the address slab (a singleton
+// IID whose record is its address's record).
+const promotedTag = uint32(1) << 31
+
+// u64set is an open-addressing set of uint64 keys (the distinct-/48 and
+// /64 prefix sets). Zero keys are tracked out of band so 0 can mark
+// empty slots.
+type u64set struct {
+	slots   []uint64
+	used    int
+	hasZero bool
+}
+
+// insert adds v, reporting whether it was new.
+func (s *u64set) insert(v uint64) bool {
+	if v == 0 {
+		if s.hasZero {
+			return false
+		}
+		s.hasZero = true
+		return true
+	}
+	if growTable(uint64(s.used), len(s.slots)) {
+		s.grow()
+	}
+	mask := uint64(len(s.slots) - 1)
+	pos := mix64(v) & mask
+	for {
+		switch s.slots[pos] {
+		case 0:
+			s.slots[pos] = v
+			s.used++
+			return true
+		case v:
+			return false
+		}
+		pos = (pos + 1) & mask
+	}
+}
+
+func (s *u64set) grow() {
+	next := tableInit
+	if len(s.slots) > 0 {
+		next = len(s.slots) * 2
+	}
+	old := s.slots
+	s.slots = make([]uint64, next)
+	mask := uint64(next - 1)
+	for _, v := range old {
+		if v == 0 {
+			continue
+		}
+		pos := mix64(v) & mask
+		for s.slots[pos] != 0 {
+			pos = (pos + 1) & mask
+		}
+		s.slots[pos] = v
+	}
+}
+
+// each visits every element (unspecified order).
+func (s *u64set) each(fn func(v uint64)) {
+	if s.hasZero {
+		fn(0)
+	}
+	for _, v := range s.slots {
+		if v != 0 {
+			fn(v)
+		}
+	}
+}
+
+func (s *u64set) len() int {
+	if s.hasZero {
+		return s.used + 1
+	}
+	return s.used
+}
+
+func (s *u64set) bytes() uint64 { return uint64(len(s.slots)) * 8 }
+
+// Collector accumulates observations. Not safe for concurrent writes,
+// and reads must not run concurrently with writes (see Store for the
+// concurrency boundary). Slab indices are tagged uint32s: one collector
+// holds at most ~2.1 billion unique addresses/IIDs — beyond that, shard.
 type Collector struct {
-	addrs map[addr.Addr]*AddrRecord
-	iids  map[addr.IID]*IIDRecord
+	addrRecs slab[addrEntry]
+	addrIdx  []uint32 // open addressing; slot holds recIdx+1, 0 = empty
+	iidRecs  slab[iidEntry]
+	// iidIdx slots hold ref+1 where ref is a promoted-slab index (with
+	// promotedTag) or the address-slab index of a singleton IID's only
+	// address; 0 = empty.
+	iidIdx  []uint32
+	iidUsed uint32 // occupied iidIdx slots = unique IIDs
+	spans   slab[spanNode]
+	// p48s/p64s are the distinct-prefix sets behind Unique48s/Unique64s,
+	// maintained incrementally: inserting on new-address creation and
+	// unioning on Merge commutes exactly like the records themselves.
+	p48s  u64set
+	p64s  u64set
 	total uint64
 }
 
-// New returns an empty collector.
+// New returns an empty collector. All storage grows on demand, so idle
+// collectors (fresh shards, day slices) cost almost nothing.
 func New() *Collector {
-	return &Collector{
-		addrs: make(map[addr.Addr]*AddrRecord),
-		iids:  make(map[addr.IID]*IIDRecord),
+	return &Collector{}
+}
+
+// growAddrIdx rebuilds the address index table at double capacity.
+func (c *Collector) growAddrIdx() {
+	next := tableInit
+	if len(c.addrIdx) > 0 {
+		next = len(c.addrIdx) * 2
 	}
+	old := c.addrIdx
+	c.addrIdx = make([]uint32, next)
+	mask := uint64(next - 1)
+	for _, v := range old {
+		if v == 0 {
+			continue
+		}
+		pos := c.addrRecs.at(v-1).key.Hash64() & mask
+		for c.addrIdx[pos] != 0 {
+			pos = (pos + 1) & mask
+		}
+		c.addrIdx[pos] = v
+	}
+}
+
+// findAddr returns the slab index of a's record, or with ok == false the
+// empty table slot where it belongs.
+func (c *Collector) findAddr(a addr.Addr) (idx uint32, slot uint32, ok bool) {
+	if len(c.addrIdx) == 0 {
+		return 0, 0, false
+	}
+	mask := uint64(len(c.addrIdx) - 1)
+	pos := a.Hash64() & mask
+	for {
+		v := c.addrIdx[pos]
+		if v == 0 {
+			return 0, uint32(pos), false
+		}
+		if c.addrRecs.at(v-1).key == a {
+			return v - 1, uint32(pos), true
+		}
+		pos = (pos + 1) & mask
+	}
+}
+
+// insertAddr allocates a's record in the empty slot findAddr reported.
+func (c *Collector) insertAddr(a addr.Addr, slot uint32) (uint32, *addrEntry) {
+	if growTable(uint64(c.addrRecs.n), len(c.addrIdx)) {
+		c.growAddrIdx()
+		_, slot, _ = c.findAddr(a)
+	}
+	i := c.addrRecs.alloc()
+	c.addrIdx[slot] = i + 1
+	e := c.addrRecs.at(i)
+	e.key = a
+	c.p48s.insert(uint64(a.P48()))
+	c.p64s.insert(uint64(a.P64()))
+	return i, e
+}
+
+// iidKeyOf resolves the IID a table reference stands for.
+func (c *Collector) iidKeyOf(ref uint32) addr.IID {
+	if ref&promotedTag != 0 {
+		return c.iidRecs.at(ref &^ promotedTag).key
+	}
+	return c.addrRecs.at(ref).key.IID()
+}
+
+// growIIDIdx rebuilds the IID index table at double capacity.
+func (c *Collector) growIIDIdx() {
+	next := tableInit
+	if len(c.iidIdx) > 0 {
+		next = len(c.iidIdx) * 2
+	}
+	old := c.iidIdx
+	c.iidIdx = make([]uint32, next)
+	mask := uint64(next - 1)
+	for _, v := range old {
+		if v == 0 {
+			continue
+		}
+		pos := mix64(uint64(c.iidKeyOf(v-1))) & mask
+		for c.iidIdx[pos] != 0 {
+			pos = (pos + 1) & mask
+		}
+		c.iidIdx[pos] = v
+	}
+}
+
+// findIID returns iid's table reference, or with ok == false the empty
+// slot where it belongs.
+func (c *Collector) findIID(iid addr.IID) (ref uint32, slot uint32, ok bool) {
+	if len(c.iidIdx) == 0 {
+		return 0, 0, false
+	}
+	mask := uint64(len(c.iidIdx) - 1)
+	pos := mix64(uint64(iid)) & mask
+	for {
+		v := c.iidIdx[pos]
+		if v == 0 {
+			return 0, uint32(pos), false
+		}
+		if c.iidKeyOf(v-1) == iid {
+			return v - 1, uint32(pos), true
+		}
+		pos = (pos + 1) & mask
+	}
+}
+
+// setIIDSlot stores a new IID reference in the empty slot findIID
+// reported, growing the table first when needed.
+func (c *Collector) setIIDSlot(slot uint32, ref uint32, iid addr.IID) {
+	if growTable(uint64(c.iidUsed), len(c.iidIdx)) {
+		c.growIIDIdx()
+		_, slot, _ = c.findIID(iid)
+	}
+	c.iidIdx[slot] = ref + 1
+	c.iidUsed++
+}
+
+// allocPromoted materializes a promoted IID record seeded with the given
+// aggregate and returns its slab index and entry. The caller wires the
+// table slot: setIIDSlot for a new IID, or an in-place overwrite when
+// promoting an existing singleton (the IID count is unchanged there, so
+// no growth check is needed).
+func (c *Collector) allocPromoted(iid addr.IID, first, last int64, count uint32) (uint32, *iidEntry) {
+	ri := c.iidRecs.alloc()
+	e := c.iidRecs.at(ri)
+	e.key = iid
+	e.first, e.last, e.count = first, last, count
+	e.spans = spanNone
+	return ri, e
 }
 
 // Observe records one sighting of a at time t from the given vantage
@@ -101,7 +448,9 @@ func (c *Collector) ObserveUnix(a addr.Addr, ts int64, server int) {
 	serverBit := ServerBit(server)
 	c.total++
 
-	if r, ok := c.addrs[a]; ok {
+	ai, slot, ok := c.findAddr(a)
+	if ok {
+		r := &c.addrRecs.at(ai).rec
 		if ts < r.First {
 			r.First = ts
 		}
@@ -111,82 +460,257 @@ func (c *Collector) ObserveUnix(a addr.Addr, ts int64, server int) {
 		r.Count++
 		r.Servers |= serverBit
 	} else {
-		c.addrs[a] = &AddrRecord{First: ts, Last: ts, Count: 1, Servers: serverBit}
+		var e *addrEntry
+		ai, e = c.insertAddr(a, slot)
+		e.rec = AddrRecord{First: ts, Last: ts, Count: 1, Servers: serverBit}
 	}
 
 	iid := a.IID()
-	r, ok := c.iids[iid]
-	if !ok {
-		r = &IIDRecord{First: ts, Last: ts}
+	ref, slot, found := c.findIID(iid)
+	if !found {
 		if iid.IsEUI64() {
-			r.P64s = make(map[addr.Prefix64]*Span, 1)
+			ri, e := c.allocPromoted(iid, ts, ts, 1)
+			c.widenSpan(e, a.P64(), ts, ts)
+			c.setIIDSlot(slot, ri|promotedTag, iid)
+			return
 		}
-		c.iids[iid] = r
-	} else {
-		if ts < r.First {
-			r.First = ts
-		}
-		if ts > r.Last {
-			r.Last = ts
-		}
+		// Singleton IID: its record is the address record; one table
+		// slot is the whole cost.
+		c.setIIDSlot(slot, ai, iid)
+		return
 	}
-	r.Count++
-	if r.P64s != nil {
-		p := a.P64()
-		if sp, ok := r.P64s[p]; ok {
-			if ts < sp.First {
-				sp.First = ts
-			}
-			if ts > sp.Last {
-				sp.Last = ts
-			}
-		} else {
-			r.P64s[p] = &Span{First: ts, Last: ts}
+	if ref&promotedTag != 0 {
+		r := c.iidRecs.at(ref &^ promotedTag)
+		if ts < r.first {
+			r.first = ts
 		}
+		if ts > r.last {
+			r.last = ts
+		}
+		r.count++
+		if r.spans != spanNone {
+			c.widenSpan(r, a.P64(), ts, ts)
+		}
+		return
 	}
+	// Singleton reference. Same address: the address record update above
+	// already IS the IID update. A second address sharing the IID (a
+	// random-IID collision across /64s) promotes the singleton; EUI-64
+	// IIDs are promoted at first sight, so no span handling is needed.
+	if ref == ai {
+		return
+	}
+	base := c.addrRecs.at(ref).rec
+	first, last := base.First, base.Last
+	if ts < first {
+		first = ts
+	}
+	if ts > last {
+		last = ts
+	}
+	ri, _ := c.allocPromoted(iid, first, last, base.Count+1)
+	c.iidIdx[slot] = (ri | promotedTag) + 1
+}
+
+// widenSpan folds the window [first, last] into r's span for p, walking
+// the IID's chain and prepending a fresh node when the /64 is new. A
+// matched node moves to the chain head, so repeat sightings of an IID's
+// current /64 — the overwhelmingly common case — stay O(1) even for
+// identifiers spread across many /64s. r must point into the IID slab;
+// appending to the span slab never moves it.
+func (c *Collector) widenSpan(r *iidEntry, p addr.Prefix64, first, last int64) {
+	prev := spanNone
+	for i := r.spans; i != spanNone; {
+		n := c.spans.at(i)
+		if n.p64 == p {
+			if first < n.first {
+				n.first = first
+			}
+			if last > n.last {
+				n.last = last
+			}
+			if prev != spanNone {
+				c.spans.at(prev).next = n.next
+				n.next = r.spans
+				r.spans = i
+			}
+			return
+		}
+		prev = i
+		i = n.next
+	}
+	i := c.spans.alloc()
+	n := c.spans.at(i)
+	n.p64, n.first, n.last, n.next = p, first, last, r.spans
+	r.spans = i
+	r.p64n++
 }
 
 // NumAddrs returns the number of unique addresses observed.
-func (c *Collector) NumAddrs() int { return len(c.addrs) }
+func (c *Collector) NumAddrs() int { return int(c.addrRecs.n) }
 
 // NumIIDs returns the number of unique IIDs observed.
-func (c *Collector) NumIIDs() int { return len(c.iids) }
+func (c *Collector) NumIIDs() int { return int(c.iidUsed) }
 
 // TotalObservations returns the raw sighting count.
 func (c *Collector) TotalObservations() uint64 { return c.total }
 
-// Get returns the record for an address, or nil.
-func (c *Collector) Get(a addr.Addr) *AddrRecord { return c.addrs[a] }
+// Get returns a copy of the record for an address; ok is false when the
+// address was never observed.
+func (c *Collector) Get(a addr.Addr) (AddrRecord, bool) {
+	i, _, ok := c.findAddr(a)
+	if !ok {
+		return AddrRecord{}, false
+	}
+	return c.addrRecs.at(i).rec, true
+}
 
-// GetIID returns the record for an IID, or nil.
-func (c *Collector) GetIID(iid addr.IID) *IIDRecord { return c.iids[iid] }
+// IIDView is a read handle onto one IID's record (inline promoted record
+// or singleton address record) and span chain. It is a two-word value —
+// copying it is free — but it borrows the collector's slabs: a view is
+// valid only until the next write to the collector, like a map iterator.
+type IIDView struct {
+	c   *Collector
+	ref uint32
+}
 
-// Addrs iterates every (address, record) pair. Iteration order is
-// unspecified; the callback returning false stops early.
-func (c *Collector) Addrs(fn func(a addr.Addr, r *AddrRecord) bool) {
-	for a, r := range c.addrs {
-		if !fn(a, r) {
+// promoted returns the promoted record, or nil for singleton IIDs.
+func (v IIDView) promoted() *iidEntry {
+	if v.ref&promotedTag == 0 {
+		return nil
+	}
+	return v.c.iidRecs.at(v.ref &^ promotedTag)
+}
+
+// summary returns the IID's (first, last, count) aggregate.
+func (v IIDView) summary() (int64, int64, uint32) {
+	if r := v.promoted(); r != nil {
+		return r.first, r.last, r.count
+	}
+	rec := &v.c.addrRecs.at(v.ref).rec
+	return rec.First, rec.Last, rec.Count
+}
+
+// First returns the Unix second of the IID's first sighting.
+func (v IIDView) First() int64 { f, _, _ := v.summary(); return f }
+
+// Last returns the Unix second of the IID's last sighting.
+func (v IIDView) Last() int64 { _, l, _ := v.summary(); return l }
+
+// Count returns the IID's total sighting count.
+func (v IIDView) Count() uint32 { _, _, n := v.summary(); return n }
+
+// Lifetime returns the IID's observed lifetime (paper Fig 2b, 6a).
+func (v IIDView) Lifetime() time.Duration {
+	f, l, _ := v.summary()
+	return time.Duration(l-f) * time.Second
+}
+
+// Tracked reports whether per-/64 spans are kept (EUI-64 IIDs only).
+func (v IIDView) Tracked() bool {
+	r := v.promoted()
+	return r != nil && r.spans != spanNone
+}
+
+// NumP64s returns the number of distinct /64s the IID appeared in
+// (0 for untracked IIDs). O(1): the count is maintained on write.
+func (v IIDView) NumP64s() int {
+	if r := v.promoted(); r != nil {
+		return int(r.p64n)
+	}
+	return 0
+}
+
+// P64s iterates the IID's per-/64 sighting spans in unspecified order;
+// the callback returning false stops early.
+func (v IIDView) P64s(fn func(p addr.Prefix64, sp Span) bool) {
+	r := v.promoted()
+	if r == nil {
+		return
+	}
+	for i := r.spans; i != spanNone; {
+		n := v.c.spans.at(i)
+		if !fn(n.p64, Span{First: n.first, Last: n.last}) {
+			return
+		}
+		i = n.next
+	}
+}
+
+// Span returns the sighting window of the IID inside one /64.
+func (v IIDView) Span(p addr.Prefix64) (Span, bool) {
+	r := v.promoted()
+	if r == nil {
+		return Span{}, false
+	}
+	for i := r.spans; i != spanNone; {
+		n := v.c.spans.at(i)
+		if n.p64 == p {
+			return Span{First: n.first, Last: n.last}, true
+		}
+		i = n.next
+	}
+	return Span{}, false
+}
+
+// GetIID returns a view of the record for an IID; ok is false when the
+// IID was never observed.
+func (c *Collector) GetIID(iid addr.IID) (IIDView, bool) {
+	ref, _, ok := c.findIID(iid)
+	if !ok {
+		return IIDView{}, false
+	}
+	return IIDView{c: c, ref: ref}, true
+}
+
+// Addrs iterates every (address, record) pair in slab (insertion) order;
+// the callback returning false stops early. Records are handed out by
+// value. The order is not part of the contract — use AddrsCanonical for
+// determinism across differently built corpora.
+func (c *Collector) Addrs(fn func(a addr.Addr, r AddrRecord) bool) {
+	for i := uint32(0); i < c.addrRecs.n; i++ {
+		e := c.addrRecs.at(i)
+		if !fn(e.key, e.rec) {
 			return
 		}
 	}
 }
 
-// IIDs iterates every (IID, record) pair.
-func (c *Collector) IIDs(fn func(iid addr.IID, r *IIDRecord) bool) {
-	for iid, r := range c.iids {
-		if !fn(iid, r) {
+// AddrsCanonical iterates every (address, record) pair in canonical
+// order (ascending by address value) — the order WriteCanonical encodes,
+// so consumers that need run-to-run determinism share one definition of
+// "sorted corpus".
+func (c *Collector) AddrsCanonical(fn func(a addr.Addr, r AddrRecord) bool) {
+	for _, i := range c.sortedAddrIdx() {
+		e := c.addrRecs.at(i)
+		if !fn(e.key, e.rec) {
 			return
 		}
 	}
 }
 
-// EUI64IIDs iterates only EUI-64 IIDs (those with /64 tracking).
-func (c *Collector) EUI64IIDs(fn func(iid addr.IID, r *IIDRecord) bool) {
-	for iid, r := range c.iids {
-		if r.P64s == nil {
+// IIDs iterates every (IID, view) pair in unspecified order.
+func (c *Collector) IIDs(fn func(iid addr.IID, r IIDView) bool) {
+	for _, v := range c.iidIdx {
+		if v == 0 {
 			continue
 		}
-		if !fn(iid, r) {
+		ref := v - 1
+		if !fn(c.iidKeyOf(ref), IIDView{c: c, ref: ref}) {
+			return
+		}
+	}
+}
+
+// EUI64IIDs iterates only EUI-64 IIDs (those with /64 tracking). EUI-64
+// IIDs are always promoted, so this walks the promoted slab directly.
+func (c *Collector) EUI64IIDs(fn func(iid addr.IID, r IIDView) bool) {
+	for i := uint32(0); i < c.iidRecs.n; i++ {
+		e := c.iidRecs.at(i)
+		if e.spans == spanNone {
+			continue
+		}
+		if !fn(e.key, IIDView{c: c, ref: i | promotedTag}) {
 			return
 		}
 	}
@@ -195,87 +719,173 @@ func (c *Collector) EUI64IIDs(fn func(iid addr.IID, r *IIDRecord) bool) {
 // AddressList materializes all observed addresses; prefer Addrs for large
 // corpora.
 func (c *Collector) AddressList() []addr.Addr {
-	out := make([]addr.Addr, 0, len(c.addrs))
-	for a := range c.addrs {
-		out = append(out, a)
+	out := make([]addr.Addr, 0, c.addrRecs.n)
+	for i := uint32(0); i < c.addrRecs.n; i++ {
+		out = append(out, c.addrRecs.at(i).key)
 	}
 	return out
 }
 
 // Merge folds another collector's observations into c, as if every
 // sighting had been recorded here: first/last spans widen, counts add,
-// server masks union, and per-/64 spans merge. The other collector is not
-// modified. This is how per-vantage (or per-shard) collectors combine
-// into the study corpus.
+// server masks union, and per-/64 spans merge. The copy is deep — c
+// never aliases o's slabs, so o may keep being written afterwards. This
+// is how per-vantage (or per-shard) collectors combine into the study
+// corpus.
+//
+// Addresses merge first; the IID pass then resolves singleton references
+// against c's post-merge address table, so merged corpora keep the
+// singleton-IID memory optimization instead of promoting everything.
 func (c *Collector) Merge(o *Collector) {
-	for a, r := range o.addrs {
-		if mine, ok := c.addrs[a]; ok {
-			if r.First < mine.First {
-				mine.First = r.First
+	for oi := uint32(0); oi < o.addrRecs.n; oi++ {
+		oe := o.addrRecs.at(oi)
+		if i, slot, ok := c.findAddr(oe.key); ok {
+			mine := &c.addrRecs.at(i).rec
+			if oe.rec.First < mine.First {
+				mine.First = oe.rec.First
 			}
-			if r.Last > mine.Last {
-				mine.Last = r.Last
+			if oe.rec.Last > mine.Last {
+				mine.Last = oe.rec.Last
 			}
-			mine.Count += r.Count
-			mine.Servers |= r.Servers
+			mine.Count += oe.rec.Count
+			mine.Servers |= oe.rec.Servers
 		} else {
-			cp := *r
-			c.addrs[a] = &cp
+			_, e := c.insertAddr(oe.key, slot)
+			e.rec = oe.rec
 		}
 	}
-	for iid, r := range o.iids {
-		mine, ok := c.iids[iid]
-		if !ok {
-			mine = &IIDRecord{First: r.First, Last: r.Last}
-			if r.P64s != nil {
-				mine.P64s = make(map[addr.Prefix64]*Span, len(r.P64s))
-			}
-			c.iids[iid] = mine
-		} else {
-			if r.First < mine.First {
-				mine.First = r.First
-			}
-			if r.Last > mine.Last {
-				mine.Last = r.Last
-			}
+	// insertAddr already folded every new address's prefixes; unioning
+	// the sets directly as well costs nothing extra and keeps them right
+	// even if the invariants above ever loosen.
+	o.p48s.each(func(v uint64) { c.p48s.insert(v) })
+	o.p64s.each(func(v uint64) { c.p64s.insert(v) })
+
+	for _, v := range o.iidIdx {
+		if v == 0 {
+			continue
 		}
-		mine.Count += r.Count
-		if r.P64s != nil {
-			if mine.P64s == nil {
-				mine.P64s = make(map[addr.Prefix64]*Span, len(r.P64s))
-			}
-			for p, sp := range r.P64s {
-				if msp, ok := mine.P64s[p]; ok {
-					if sp.First < msp.First {
-						msp.First = sp.First
-					}
-					if sp.Last > msp.Last {
-						msp.Last = sp.Last
-					}
-				} else {
-					cp := *sp
-					mine.P64s[p] = &cp
-				}
-			}
+		if oref := v - 1; oref&promotedTag != 0 {
+			c.mergeIIDPromoted(o, o.iidRecs.at(oref&^promotedTag))
+		} else {
+			oe := o.addrRecs.at(oref)
+			c.mergeIIDSingleton(oe.key, oe.rec)
 		}
 	}
 	c.total += o.total
 }
 
-// Unique48s counts distinct /48 prefixes in the corpus (Table 1 column).
-func (c *Collector) Unique48s() int {
-	seen := make(map[addr.Prefix48]struct{})
-	for a := range c.addrs {
-		seen[a.P48()] = struct{}{}
+// mergeIIDSingleton folds an IID that o saw under exactly one address
+// (bAddr, with o-side record bRec) into c.
+func (c *Collector) mergeIIDSingleton(bAddr addr.Addr, bRec AddrRecord) {
+	iid := bAddr.IID()
+	ref, slot, ok := c.findIID(iid)
+	if !ok {
+		// New to c as well: reference c's (post-merge) address record.
+		bi, _, found := c.findAddr(bAddr)
+		if !found {
+			// Unreachable: the address pass inserted every o address.
+			return
+		}
+		c.setIIDSlot(slot, bi, iid)
+		return
 	}
-	return len(seen)
+	if ref&promotedTag != 0 {
+		// c already tracks multiple addresses for this IID; o's sightings
+		// of bAddr are disjoint from c's, so the count adds cleanly.
+		r := c.iidRecs.at(ref &^ promotedTag)
+		if bRec.First < r.first {
+			r.first = bRec.First
+		}
+		if bRec.Last > r.last {
+			r.last = bRec.Last
+		}
+		r.count += bRec.Count
+		return
+	}
+	mine := c.addrRecs.at(ref)
+	if mine.key == bAddr {
+		// Same singleton address on both sides: the address pass already
+		// merged the records, and the singleton reference reads it.
+		return
+	}
+	// Two distinct singleton addresses meet: promote. Neither side can
+	// have held the other's address (it would have promoted earlier), so
+	// both post-merge records are disjoint aggregates.
+	bi, _, found := c.findAddr(bAddr)
+	if !found {
+		return // unreachable, as above
+	}
+	other := c.addrRecs.at(bi).rec
+	first, last := mine.rec.First, mine.rec.Last
+	if other.First < first {
+		first = other.First
+	}
+	if other.Last > last {
+		last = other.Last
+	}
+	ri, _ := c.allocPromoted(iid, first, last, mine.rec.Count+other.Count)
+	c.iidIdx[slot] = (ri | promotedTag) + 1
 }
 
-// Unique64s counts distinct /64 prefixes in the corpus.
-func (c *Collector) Unique64s() int {
-	seen := make(map[addr.Prefix64]struct{})
-	for a := range c.addrs {
-		seen[a.P64()] = struct{}{}
+// mergeIIDPromoted folds one of o's promoted IID records into c.
+func (c *Collector) mergeIIDPromoted(o *Collector, or *iidEntry) {
+	iid := or.key
+	ref, slot, ok := c.findIID(iid)
+	var r *iidEntry
+	switch {
+	case !ok:
+		var ri uint32
+		ri, r = c.allocPromoted(iid, or.first, or.last, or.count)
+		c.setIIDSlot(slot, ri|promotedTag, iid)
+	case ref&promotedTag != 0:
+		r = c.iidRecs.at(ref &^ promotedTag)
+		if or.first < r.first {
+			r.first = or.first
+		}
+		if or.last > r.last {
+			r.last = or.last
+		}
+		r.count += or.count
+	default:
+		// c holds a singleton whose address pass may already have folded
+		// o's sightings of that same address — which or.count includes
+		// too. Subtract o's copy of the overlap so it counts once.
+		mine := c.addrRecs.at(ref)
+		count := mine.rec.Count + or.count
+		if oxi, _, found := o.findAddr(mine.key); found {
+			count -= o.addrRecs.at(oxi).rec.Count
+		}
+		first, last := mine.rec.First, mine.rec.Last
+		if or.first < first {
+			first = or.first
+		}
+		if or.last > last {
+			last = or.last
+		}
+		var ri uint32
+		ri, r = c.allocPromoted(iid, first, last, count)
+		c.iidIdx[slot] = (ri | promotedTag) + 1
 	}
-	return len(seen)
+	for si := or.spans; si != spanNone; {
+		sn := o.spans.at(si)
+		c.widenSpan(r, sn.p64, sn.first, sn.last)
+		si = sn.next
+	}
+}
+
+// Unique48s returns the number of distinct /48 prefixes in the corpus
+// (Table 1 column). O(1): the set is maintained on Observe/Merge.
+func (c *Collector) Unique48s() int { return c.p48s.len() }
+
+// Unique64s returns the number of distinct /64 prefixes in the corpus.
+func (c *Collector) Unique64s() int { return c.p64s.len() }
+
+// MemoryFootprint returns the corpus's resident bytes: record and span
+// slabs, index tables and prefix sets. Unlike a map-based store the
+// engine owns every allocation, so the figure is exact (modulo slice
+// headers) — it is what daemons export as corpus_bytes telemetry.
+func (c *Collector) MemoryFootprint() uint64 {
+	return c.addrRecs.bytes() + c.iidRecs.bytes() + c.spans.bytes() +
+		uint64(len(c.addrIdx))*4 + uint64(len(c.iidIdx))*4 +
+		c.p48s.bytes() + c.p64s.bytes()
 }

@@ -19,8 +19,8 @@ func TestObserveBasics(t *testing.T) {
 	if c.NumAddrs() != 1 {
 		t.Fatalf("NumAddrs: %d", c.NumAddrs())
 	}
-	r := c.Get(a)
-	if r == nil {
+	r, ok := c.Get(a)
+	if !ok {
 		t.Fatal("record missing")
 	}
 	if r.Count != 3 {
@@ -35,6 +35,9 @@ func TestObserveBasics(t *testing.T) {
 	if c.TotalObservations() != 3 {
 		t.Errorf("total: %d", c.TotalObservations())
 	}
+	if _, ok := c.Get(addr.MustParse("2001:db8::2")); ok {
+		t.Error("phantom record")
+	}
 }
 
 func TestObserveOutOfOrderTimestamps(t *testing.T) {
@@ -42,7 +45,7 @@ func TestObserveOutOfOrderTimestamps(t *testing.T) {
 	a := addr.MustParse("2001:db8::2")
 	c.Observe(a, t0.Add(time.Hour), 0)
 	c.Observe(a, t0, 0) // earlier sighting arrives later
-	r := c.Get(a)
+	r, _ := c.Get(a)
 	if r.First != t0.Unix() || r.Last != t0.Add(time.Hour).Unix() {
 		t.Errorf("first/last: %d/%d", r.First, r.Last)
 	}
@@ -52,8 +55,8 @@ func TestObservedOnceLifetimeZero(t *testing.T) {
 	c := New()
 	a := addr.MustParse("2001:db8::3")
 	c.Observe(a, t0, 1)
-	if lt := c.Get(a).Lifetime(); lt != 0 {
-		t.Errorf("lifetime of single sighting: %v", lt)
+	if r, _ := c.Get(a); r.Lifetime() != 0 {
+		t.Errorf("lifetime of single sighting: %v", r.Lifetime())
 	}
 }
 
@@ -67,22 +70,37 @@ func TestIIDAggregation(t *testing.T) {
 	c.Observe(a1, t0, 0)
 	c.Observe(a2, t0.Add(48*time.Hour), 0)
 
-	r := c.GetIID(iid)
-	if r == nil {
+	r, ok := c.GetIID(iid)
+	if !ok {
 		t.Fatal("IID record missing")
 	}
-	if r.Count != 2 {
-		t.Errorf("count: %d", r.Count)
+	if r.Count() != 2 {
+		t.Errorf("count: %d", r.Count())
 	}
 	if r.Lifetime() != 48*time.Hour {
 		t.Errorf("lifetime: %v", r.Lifetime())
 	}
-	if len(r.P64s) != 2 {
-		t.Fatalf("P64s: %d", len(r.P64s))
+	if !r.Tracked() || r.NumP64s() != 2 {
+		t.Fatalf("tracked=%v NumP64s=%d", r.Tracked(), r.NumP64s())
 	}
-	sp := r.P64s[a1.P64()]
-	if sp == nil || sp.First != t0.Unix() || sp.Last != t0.Unix() {
-		t.Errorf("span for first /64: %+v", sp)
+	sp, ok := r.Span(a1.P64())
+	if !ok || sp.First != t0.Unix() || sp.Last != t0.Unix() {
+		t.Errorf("span for first /64: %+v (ok=%v)", sp, ok)
+	}
+	if _, ok := r.Span(addr.MustParse("2001:db8:9999::").P64()); ok {
+		t.Error("span for unobserved /64")
+	}
+	// P64s visits both spans exactly once.
+	seen := map[addr.Prefix64]Span{}
+	r.P64s(func(p addr.Prefix64, sp Span) bool {
+		if _, dup := seen[p]; dup {
+			t.Errorf("duplicate span for %v", p)
+		}
+		seen[p] = sp
+		return true
+	})
+	if len(seen) != 2 {
+		t.Errorf("P64s visited %d spans", len(seen))
 	}
 }
 
@@ -90,12 +108,17 @@ func TestNonEUI64IIDNoP64Tracking(t *testing.T) {
 	c := New()
 	a := addr.MustParse("2001:db8::dead:beef:1234:5678")
 	c.Observe(a, t0, 0)
-	r := c.GetIID(a.IID())
-	if r == nil {
+	r, ok := c.GetIID(a.IID())
+	if !ok {
 		t.Fatal("IID record missing")
 	}
-	if r.P64s != nil {
+	if r.Tracked() || r.NumP64s() != 0 {
 		t.Error("non-EUI-64 IID should not carry /64 tracking")
+	}
+	n := 0
+	r.P64s(func(addr.Prefix64, Span) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("P64s on untracked IID visited %d", n)
 	}
 }
 
@@ -108,10 +131,13 @@ func TestEUI64IIDsIteration(t *testing.T) {
 	c.Observe(plain, t0, 0)
 
 	n := 0
-	c.EUI64IIDs(func(iid addr.IID, r *IIDRecord) bool {
+	c.EUI64IIDs(func(iid addr.IID, r IIDView) bool {
 		n++
 		if !iid.IsEUI64() {
 			t.Errorf("non-EUI-64 IID in EUI64IIDs iteration")
+		}
+		if !r.Tracked() {
+			t.Error("EUI64IIDs yielded untracked view")
 		}
 		return true
 	})
@@ -136,20 +162,105 @@ func TestUniquePrefixCounts(t *testing.T) {
 	}
 }
 
+// recomputeUniques is the seed's throwaway-map path, kept as the
+// reference for the incremental counters.
+func recomputeUniques(c *Collector) (p48s, p64s int) {
+	s48 := make(map[addr.Prefix48]struct{})
+	s64 := make(map[addr.Prefix64]struct{})
+	c.Addrs(func(a addr.Addr, _ AddrRecord) bool {
+		s48[a.P48()] = struct{}{}
+		s64[a.P64()] = struct{}{}
+		return true
+	})
+	return len(s48), len(s64)
+}
+
+// TestUniqueCountsMatchRecompute pins the incremental distinct-/48 and
+// /64 counters to the full recompute across observes, duplicate
+// sightings, and merges.
+func TestUniqueCountsMatchRecompute(t *testing.T) {
+	check := func(label string, c *Collector) {
+		t.Helper()
+		w48, w64 := recomputeUniques(c)
+		if c.Unique48s() != w48 || c.Unique64s() != w64 {
+			t.Errorf("%s: incremental (%d,%d) vs recompute (%d,%d)",
+				label, c.Unique48s(), c.Unique64s(), w48, w64)
+		}
+	}
+
+	a := New()
+	state := uint64(99)
+	for i := 0; i < 2000; i++ {
+		r := splitmix64(&state)
+		// Small pools of /48s and IIDs force heavy prefix sharing.
+		hi := 0x20010db8_00000000 | (r>>8)%64<<16 | r%8
+		a.ObserveUnix(addr.FromParts(hi, splitmix64(&state)%256), 1000+int64(i), int(r%32))
+	}
+	check("after observes", a)
+
+	b := New()
+	for i := 0; i < 2000; i++ {
+		r := splitmix64(&state)
+		hi := 0x20010db8_00000000 | (r>>8)%64<<16 | r%8
+		b.ObserveUnix(addr.FromParts(hi, splitmix64(&state)%256), 5000+int64(i), int(r%32))
+	}
+	check("second collector", b)
+
+	a.Merge(b)
+	check("after merge", a)
+	a.Merge(New())
+	check("after empty merge", a)
+
+	empty := New()
+	empty.Merge(b)
+	check("merge into empty", empty)
+}
+
 func TestIterationEarlyStop(t *testing.T) {
 	c := New()
 	for i := 0; i < 10; i++ {
 		c.Observe(addr.FromParts(0x20010db8_00000000, uint64(i+1)), t0, 0)
 	}
 	n := 0
-	c.Addrs(func(addr.Addr, *AddrRecord) bool { n++; return n < 3 })
+	c.Addrs(func(addr.Addr, AddrRecord) bool { n++; return n < 3 })
 	if n != 3 {
 		t.Errorf("Addrs early stop: %d", n)
 	}
 	n = 0
-	c.IIDs(func(addr.IID, *IIDRecord) bool { n++; return false })
+	c.IIDs(func(addr.IID, IIDView) bool { n++; return false })
 	if n != 1 {
 		t.Errorf("IIDs early stop: %d", n)
+	}
+	n = 0
+	c.AddrsCanonical(func(addr.Addr, AddrRecord) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("AddrsCanonical early stop: %d", n)
+	}
+}
+
+func TestAddrsCanonicalOrder(t *testing.T) {
+	c := New()
+	for i := 0; i < 50; i++ {
+		state := uint64(i) * 0x9e3779b97f4a7c15
+		c.Observe(addr.FromParts(splitmix64(&state), splitmix64(&state)), t0, 0)
+	}
+	var prev addr.Addr
+	n := 0
+	c.AddrsCanonical(func(a addr.Addr, r AddrRecord) bool {
+		if n > 0 {
+			if prev.Hi() > a.Hi() || (prev.Hi() == a.Hi() && prev.Lo() >= a.Lo()) {
+				t.Fatalf("canonical order violated: %s then %s", prev, a)
+			}
+		}
+		if r.Count == 0 {
+			t.Fatalf("empty record for %s", a)
+		}
+		prev = a
+		n++
+		return true
+	})
+	if n != c.NumAddrs() {
+		t.Errorf("visited %d of %d", n, c.NumAddrs())
 	}
 }
 
@@ -158,8 +269,28 @@ func TestServerIndexClamping(t *testing.T) {
 	a := addr.MustParse("2001:db8::9")
 	c.Observe(a, t0, 40) // above bit 31: clamps to bit 31
 	c.Observe(a, t0, -1) // negative: no bit
-	r := c.Get(a)
+	r, _ := c.Get(a)
 	if r.Servers != 1<<31 {
 		t.Errorf("servers: %b", r.Servers)
+	}
+}
+
+func TestMemoryFootprintGrows(t *testing.T) {
+	c := New()
+	if c.MemoryFootprint() != 0 {
+		t.Errorf("empty collector footprint %d", c.MemoryFootprint())
+	}
+	before := c.MemoryFootprint()
+	for i := 0; i < 1000; i++ {
+		c.Observe(addr.FromParts(0x20010db8_00000000|uint64(i)<<16, uint64(i)), t0, 0)
+	}
+	after := c.MemoryFootprint()
+	if after <= before {
+		t.Errorf("footprint did not grow: %d -> %d", before, after)
+	}
+	// Sanity bound: the flat layout should stay well under ~400 bytes
+	// per unique address at this scale, slab-growth slack included.
+	if perAddr := after / 1000; perAddr > 400 {
+		t.Errorf("footprint %d bytes/addr implausibly high", perAddr)
 	}
 }

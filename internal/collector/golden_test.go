@@ -1,0 +1,85 @@
+package collector
+
+import (
+	"encoding/hex"
+	"testing"
+
+	"hitlist6/internal/addr"
+)
+
+// goldenChecksum is the SHA-256 of the canonical encoding of the stream
+// below, recorded against the seed's pointer-per-record layout. The
+// canonical encoding is the collector's on-the-wire ground truth: any
+// internal re-layout (the flat record slabs, the span-run slab) must
+// reproduce it byte for byte, or every stored corpus fingerprint in the
+// wild silently changes meaning.
+const goldenChecksum = "dacb26a587b3fb747ed8e805e2a1462cbce86695d2ba510c37e2ecae9c6b72eb"
+
+// splitmix64 is a tiny self-contained PRNG so the golden stream never
+// depends on the standard library's generator internals.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// goldenStream generates a fixed, implementation-independent event
+// stream exercising every record shape: repeated addresses, out-of-order
+// timestamps, EUI-64 IIDs renumbering across /64s, non-EUI-64 IIDs
+// shared by several addresses, and server indices at and beyond the cap.
+func goldenStream() (addrs []addr.Addr, times []int64, servers []int) {
+	const n = 5000
+	base := int64(1643068800) // 25 Jan 2022, the study origin
+	state := uint64(0x5eed)
+	macs := make([]addr.MAC, 16)
+	for i := range macs {
+		v := splitmix64(&state)
+		macs[i] = addr.MAC{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24), byte(v >> 32), byte(v >> 40)}
+	}
+	for i := 0; i < n; i++ {
+		r := splitmix64(&state)
+		hi := 0x2001_0db8_0000_0000 | (r>>32)&0xffff<<16 | r&0x7
+		var a addr.Addr
+		switch i % 5 {
+		case 0, 1:
+			// Random IID, small address pool to force repeats.
+			a = addr.FromParts(hi, splitmix64(&state)%512)
+		case 2:
+			// EUI-64: one of 16 MACs wandering across /64s.
+			mac := macs[r%16]
+			a = addr.FromParts(hi, uint64(addr.EUI64FromMAC(mac)))
+		case 3:
+			// Same IID in many /64s without EUI-64 structure.
+			a = addr.FromParts(hi, 0xdead_beef_0000_0001)
+		default:
+			a = addr.FromParts(hi, splitmix64(&state))
+		}
+		// Timestamps jitter backwards and forwards around a moving clock.
+		ts := base + int64(i)*37 - int64(r%4096)
+		server := int(r % 40) // exercises saturation above MaxServers
+		if r%17 == 0 {
+			server = -1 // unattributed
+		}
+		addrs = append(addrs, a)
+		times = append(times, ts)
+		servers = append(servers, server)
+	}
+	return
+}
+
+// TestCanonicalChecksumGolden pins WriteCanonical/Checksum output across
+// storage-layout changes: the same event stream must hash to the value
+// recorded against the seed layout.
+func TestCanonicalChecksumGolden(t *testing.T) {
+	addrs, times, servers := goldenStream()
+	c := New()
+	for i := range addrs {
+		c.ObserveUnix(addrs[i], times[i], servers[i])
+	}
+	sum := c.Checksum()
+	if got := hex.EncodeToString(sum[:]); got != goldenChecksum {
+		t.Fatalf("canonical checksum drifted:\n got  %s\n want %s", got, goldenChecksum)
+	}
+}

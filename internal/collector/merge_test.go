@@ -47,24 +47,29 @@ func TestMergeEquivalentToSequential(t *testing.T) {
 	if a.TotalObservations() != sequential.TotalObservations() {
 		t.Errorf("total: %d vs %d", a.TotalObservations(), sequential.TotalObservations())
 	}
-	sequential.Addrs(func(ad addr.Addr, want *AddrRecord) bool {
-		got := a.Get(ad)
-		if got == nil || *got != *want {
+	sequential.Addrs(func(ad addr.Addr, want AddrRecord) bool {
+		got, ok := a.Get(ad)
+		if !ok || got != want {
 			t.Errorf("record for %s: %+v vs %+v", ad, got, want)
 		}
 		return true
 	})
 	// EUI-64 /64 spans merged.
-	wantIID := sequential.GetIID(eui)
-	gotIID := a.GetIID(eui)
-	if gotIID == nil || len(gotIID.P64s) != len(wantIID.P64s) {
-		t.Fatalf("IID P64s: %+v vs %+v", gotIID, wantIID)
+	wantIID, _ := sequential.GetIID(eui)
+	gotIID, ok := a.GetIID(eui)
+	if !ok || gotIID.NumP64s() != wantIID.NumP64s() {
+		t.Fatalf("IID P64s: %d vs %d", gotIID.NumP64s(), wantIID.NumP64s())
 	}
-	for p, sp := range wantIID.P64s {
-		got := gotIID.P64s[p]
-		if got == nil || *got != *sp {
+	wantIID.P64s(func(p addr.Prefix64, sp Span) bool {
+		got, ok := gotIID.Span(p)
+		if !ok || got != sp {
 			t.Errorf("span for %s: %+v vs %+v", p, got, sp)
 		}
+		return true
+	})
+	// The merged canonical encoding settles it byte for byte.
+	if a.Checksum() != sequential.Checksum() {
+		t.Error("merged checksum differs from sequential")
 	}
 }
 
@@ -74,17 +79,70 @@ func TestMergeIntoEmpty(t *testing.T) {
 	src.Observe(addr.MustParse("2001:db8::9"), base, 5)
 	dst := New()
 	dst.Merge(src)
-	if dst.NumAddrs() != 1 || dst.Get(addr.MustParse("2001:db8::9")) == nil {
+	if dst.NumAddrs() != 1 {
 		t.Fatal("merge into empty lost data")
+	}
+	if _, ok := dst.Get(addr.MustParse("2001:db8::9")); !ok {
+		t.Fatal("merged record missing")
 	}
 	// Source unchanged.
 	if src.NumAddrs() != 1 {
 		t.Fatal("source mutated")
 	}
-	// Records are copies: mutating dst must not touch src.
-	dst.Get(addr.MustParse("2001:db8::9")).Count = 99
-	if src.Get(addr.MustParse("2001:db8::9")).Count == 99 {
-		t.Error("merge shares record pointers with source")
+}
+
+// TestMergeDeepCopies pins the aliasing contract: after Merge, the
+// destination owns its records outright — continuing to write to the
+// source must leave the destination's corpus untouched, spans included.
+func TestMergeDeepCopies(t *testing.T) {
+	base := time.Date(2022, 2, 1, 0, 0, 0, 0, time.UTC)
+	mac := addr.MAC{0xf0, 0x02, 0x20, 7, 7, 7}
+	eui := addr.EUI64FromMAC(mac)
+	euiAddr := addr.FromParts(0x20010db8_00010000, uint64(eui))
+	plain := addr.MustParse("2001:db8::9")
+
+	src := New()
+	src.Observe(plain, base, 5)
+	src.Observe(euiAddr, base, 1)
+
+	dst := New()
+	dst.Merge(src)
+	sum := dst.Checksum()
+	wantAddr, _ := dst.Get(plain)
+	wantView, _ := dst.GetIID(eui)
+	wantSpan, _ := wantView.Span(euiAddr.P64())
+
+	// Hammer the source: widen the existing records, stretch the EUI-64
+	// span, renumber the IID into a new /64, and add fresh addresses.
+	src.Observe(plain, base.Add(90*24*time.Hour), 9)
+	src.Observe(euiAddr, base.Add(-time.Hour), 2)
+	src.Observe(addr.FromParts(0x20010db8_00990000, uint64(eui)), base.Add(time.Hour), 3)
+	src.Observe(addr.MustParse("2400:cb00::1"), base, 0)
+
+	if dst.Checksum() != sum {
+		t.Fatal("mutating the merge source changed the destination corpus")
+	}
+	if got, _ := dst.Get(plain); got != wantAddr {
+		t.Errorf("address record aliased: %+v vs %+v", got, wantAddr)
+	}
+	gotView, _ := dst.GetIID(eui)
+	if gotView.NumP64s() != 1 {
+		t.Errorf("span chain aliased: %d /64s", gotView.NumP64s())
+	}
+	if got, _ := gotView.Span(euiAddr.P64()); got != wantSpan {
+		t.Errorf("span aliased: %+v vs %+v", got, wantSpan)
+	}
+	if dst.NumAddrs() != 2 || dst.Unique48s() != 2 {
+		t.Errorf("destination grew with the source: %d addrs, %d /48s",
+			dst.NumAddrs(), dst.Unique48s())
+	}
+
+	// And the reverse direction: mutating the destination after the merge
+	// must not leak back into the source.
+	srcSum := src.Checksum()
+	dst.Observe(plain, base.Add(400*24*time.Hour), 11)
+	if src.Checksum() != srcSum {
+		t.Error("mutating the merge destination changed the source corpus")
 	}
 }
 
@@ -123,9 +181,9 @@ func TestParallelReplayMatchesSerial(t *testing.T) {
 		t.Fatalf("observations: %d vs %d", merged.TotalObservations(), serial.TotalObservations())
 	}
 	mismatches := 0
-	serial.Addrs(func(a addr.Addr, want *AddrRecord) bool {
-		got := merged.Get(a)
-		if got == nil || got.First != want.First || got.Last != want.Last || got.Count != want.Count {
+	serial.Addrs(func(a addr.Addr, want AddrRecord) bool {
+		got, ok := merged.Get(a)
+		if !ok || got.First != want.First || got.Last != want.Last || got.Count != want.Count {
 			mismatches++
 			return mismatches < 5
 		}

@@ -72,6 +72,15 @@ func (s *Store) Merges() uint64 {
 	return s.merges
 }
 
+// MemoryFootprint estimates the merged corpus's resident bytes (see
+// Collector.MemoryFootprint): the number stat endpoints export as
+// corpus_bytes.
+func (s *Store) MemoryFootprint() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.c.MemoryFootprint()
+}
+
 // Checksum returns the canonical checksum of the merged corpus.
 func (s *Store) Checksum() [32]byte {
 	s.mu.RLock()

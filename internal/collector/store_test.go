@@ -34,8 +34,8 @@ func TestServerBitSaturation(t *testing.T) {
 	base := time.Date(2022, 2, 1, 0, 0, 0, 0, time.UTC)
 	col.Observe(a, base, MaxServers+3)
 	col.Observe(a, base, -1)
-	if got := col.Get(a).Servers; got != 1<<(MaxServers-1) {
-		t.Errorf("Servers mask %#x, want top bit only", got)
+	if r, _ := col.Get(a); r.Servers != 1<<(MaxServers-1) {
+		t.Errorf("Servers mask %#x, want top bit only", r.Servers)
 	}
 }
 
@@ -59,8 +59,8 @@ func TestStoreMergesAndReads(t *testing.T) {
 		t.Errorf("addrs=%d obs=%d merges=%d", s.NumAddrs(), s.TotalObservations(), s.Merges())
 	}
 	s.View(func(c *Collector) {
-		r := c.Get(addr.MustParse("2001:db8::1"))
-		if r == nil || r.Count != 2 || r.Servers != ServerBit(0)|ServerBit(2) {
+		r, ok := c.Get(addr.MustParse("2001:db8::1"))
+		if !ok || r.Count != 2 || r.Servers != ServerBit(0)|ServerBit(2) {
 			t.Errorf("merged record: %+v", r)
 		}
 	})
@@ -71,6 +71,60 @@ func TestStoreMergesAndReads(t *testing.T) {
 	}
 	if s.NumAddrs() != 0 || s.Merges() != 0 {
 		t.Error("store not reset after Detach")
+	}
+}
+
+// TestStoreReuseAfterDetach pins the Detach contract: the store resets to
+// an empty-but-live state, so a daemon can hand one collection run to the
+// analysis layer and keep ingesting into the same store.
+func TestStoreReuseAfterDetach(t *testing.T) {
+	base := time.Date(2022, 2, 1, 0, 0, 0, 0, time.UTC).Unix()
+	s := NewStore()
+	first := New()
+	first.ObserveUnix(addr.MustParse("2001:db8::1"), base, 0)
+	s.ApplyShard(first)
+
+	detached := s.Detach()
+	if detached.NumAddrs() != 1 {
+		t.Fatal("detached corpus incomplete")
+	}
+
+	// The detached collector is the caller's: keep using it.
+	detached.ObserveUnix(addr.MustParse("2001:db8::2"), base+1, 1)
+	if detached.NumAddrs() != 2 {
+		t.Error("detached collector not writable")
+	}
+
+	// The store must accept a fresh round of shards and views.
+	second := New()
+	second.ObserveUnix(addr.MustParse("2400:cb00::1"), base+2, 2)
+	s.ApplyShard(second)
+	if s.NumAddrs() != 1 || s.Merges() != 1 || s.TotalObservations() != 1 {
+		t.Errorf("post-detach store: addrs=%d merges=%d obs=%d",
+			s.NumAddrs(), s.Merges(), s.TotalObservations())
+	}
+	s.View(func(c *Collector) {
+		if _, ok := c.Get(addr.MustParse("2001:db8::1")); ok {
+			t.Error("detached corpus leaked back into the store")
+		}
+		if _, ok := c.Get(addr.MustParse("2400:cb00::1")); !ok {
+			t.Error("post-detach shard missing from view")
+		}
+	})
+
+	// Writes to the detached collector must never surface in the store
+	// (and vice versa): Detach is a handoff, not a shared view.
+	sum := s.Checksum()
+	detached.ObserveUnix(addr.MustParse("2001:db8::3"), base+3, 3)
+	if s.Checksum() != sum {
+		t.Error("detached collector aliases the store")
+	}
+
+	if d2 := s.Detach(); d2.NumAddrs() != 1 {
+		t.Errorf("second detach: %d addrs", d2.NumAddrs())
+	}
+	if s.NumAddrs() != 0 {
+		t.Error("store not reset after second Detach")
 	}
 }
 
@@ -94,7 +148,7 @@ func TestStoreConcurrentAccess(t *testing.T) {
 				_ = s.NumIIDs()
 				_ = s.TotalObservations()
 				s.View(func(c *Collector) {
-					c.Addrs(func(addr.Addr, *AddrRecord) bool { return false })
+					c.Addrs(func(addr.Addr, AddrRecord) bool { return false })
 				})
 			}
 		}()

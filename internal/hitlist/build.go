@@ -13,9 +13,12 @@ import (
 )
 
 // FromCollector converts a passive collector's corpus into a Dataset.
+// Addresses are inserted in canonical (sorted) order, so two runs over
+// the same corpus produce identically ordered datasets — and every
+// downstream Each/Addrs consumer inherits that determinism.
 func FromCollector(name string, c *collector.Collector) *Dataset {
 	d := NewDataset(name)
-	c.Addrs(func(a addr.Addr, _ *collector.AddrRecord) bool {
+	c.AddrsCanonical(func(a addr.Addr, _ collector.AddrRecord) bool {
 		d.Add(a)
 		return true
 	})

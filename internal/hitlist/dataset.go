@@ -16,10 +16,14 @@ import (
 )
 
 // Dataset is a named set of IPv6 addresses with set algebra and the
-// aggregate statistics Table 1 reports.
+// aggregate statistics Table 1 reports. Iteration follows insertion
+// order: builders that insert canonically (FromCollector, sorted seed
+// lists) get run-to-run deterministic datasets for free, instead of
+// inheriting map iteration order.
 type Dataset struct {
 	Name  string
 	addrs map[addr.Addr]struct{}
+	order []addr.Addr
 }
 
 // NewDataset returns an empty dataset.
@@ -27,13 +31,19 @@ func NewDataset(name string) *Dataset {
 	return &Dataset{Name: name, addrs: make(map[addr.Addr]struct{})}
 }
 
-// Add inserts an address.
-func (d *Dataset) Add(a addr.Addr) { d.addrs[a] = struct{}{} }
+// Add inserts an address; duplicates keep their first position.
+func (d *Dataset) Add(a addr.Addr) {
+	if _, ok := d.addrs[a]; ok {
+		return
+	}
+	d.addrs[a] = struct{}{}
+	d.order = append(d.order, a)
+}
 
 // AddAll inserts every address of the slice.
 func (d *Dataset) AddAll(as []addr.Addr) {
 	for _, a := range as {
-		d.addrs[a] = struct{}{}
+		d.Add(a)
 	}
 }
 
@@ -46,22 +56,18 @@ func (d *Dataset) Contains(a addr.Addr) bool {
 // Len returns the number of addresses.
 func (d *Dataset) Len() int { return len(d.addrs) }
 
-// Each iterates the addresses in unspecified order; returning false stops.
+// Each iterates the addresses in insertion order; returning false stops.
 func (d *Dataset) Each(fn func(a addr.Addr) bool) {
-	for a := range d.addrs {
+	for _, a := range d.order {
 		if !fn(a) {
 			return
 		}
 	}
 }
 
-// Addrs materializes the address set.
+// Addrs materializes the address set in insertion order.
 func (d *Dataset) Addrs() []addr.Addr {
-	out := make([]addr.Addr, 0, len(d.addrs))
-	for a := range d.addrs {
-		out = append(out, a)
-	}
-	return out
+	return append([]addr.Addr(nil), d.order...)
 }
 
 // IntersectionSize counts addresses present in both datasets.

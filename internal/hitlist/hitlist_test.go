@@ -140,6 +140,57 @@ func TestFromCollector(t *testing.T) {
 	}
 }
 
+// TestFromCollectorDeterministic pins the canonical-order contract: the
+// same corpus — even built in different insertion orders — must yield
+// identically ordered datasets on every run, so dataset-derived analyses
+// and serializations stop depending on map iteration order.
+func TestFromCollectorDeterministic(t *testing.T) {
+	t0 := time.Date(2022, 2, 1, 0, 0, 0, 0, time.UTC)
+	var addrs []addr.Addr
+	state := uint64(0xd5)
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := 0; i < 500; i++ {
+		addrs = append(addrs, addr.FromParts(next(), next()))
+	}
+
+	forward, reverse := collector.New(), collector.New()
+	for i, a := range addrs {
+		forward.Observe(a, t0.Add(time.Duration(i)*time.Second), 0)
+	}
+	for i := len(addrs) - 1; i >= 0; i-- {
+		reverse.Observe(addrs[i], t0.Add(time.Duration(i)*time.Second), 0)
+	}
+
+	want := FromCollector("ntp", forward).Addrs()
+	for run := 0; run < 3; run++ {
+		for label, c := range map[string]*collector.Collector{"forward": forward, "reverse": reverse} {
+			got := FromCollector("ntp", c).Addrs()
+			if len(got) != len(want) {
+				t.Fatalf("%s run %d: %d addrs, want %d", label, run, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s run %d: order diverges at %d: %s vs %s",
+						label, run, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	// And the order is the canonical (sorted) one.
+	for i := 1; i < len(want); i++ {
+		prev, cur := want[i-1], want[i]
+		if prev.Hi() > cur.Hi() || (prev.Hi() == cur.Hi() && prev.Lo() >= cur.Lo()) {
+			t.Fatalf("dataset order not canonical at %d: %s then %s", i, prev, cur)
+		}
+	}
+}
+
 func TestSplit48s(t *testing.T) {
 	p := addr.MustParsePrefix("2001:db8::/44")
 	got := split48s(p, 0)

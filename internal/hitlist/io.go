@@ -52,13 +52,7 @@ func (d *Dataset) WriteTo(w io.Writer) (int64, error) {
 		return written, err
 	}
 	addrs := d.Addrs()
-	sort.Slice(addrs, func(i, j int) bool {
-		hi, hj := addrs[i].Hi(), addrs[j].Hi()
-		if hi != hj {
-			return hi < hj
-		}
-		return addrs[i].Lo() < addrs[j].Lo()
-	})
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
 	if err := writeUvarint(uint64(len(addrs))); err != nil {
 		return written, err
 	}

@@ -208,8 +208,8 @@ func TestServerCapSaturation(t *testing.T) {
 		{Addr: a, Time: 1002, Server: -1}, // unattributed: no bit
 	})
 	merged := p.Close()
-	r := merged.Get(a)
-	if r == nil {
+	r, ok := merged.Get(a)
+	if !ok {
 		t.Fatal("address not recorded")
 	}
 	want := collector.ServerBit(3) | collector.ServerBit(7)

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -14,42 +15,115 @@ type Metrics struct {
 	batches   atomic.Uint64 // batches handed to shard queues
 	snapshots atomic.Uint64 // shard snapshots merged into the store
 	start     time.Time
+	recent    rateWindow
 }
 
 // MetricsSnapshot is a point-in-time reading, JSON-shaped for stat
 // endpoints.
 type MetricsSnapshot struct {
-	Enqueued      uint64  `json:"enqueued"`
-	Dropped       uint64  `json:"dropped"`
-	Processed     uint64  `json:"processed"`
-	Batches       uint64  `json:"batches"`
-	Snapshots     uint64  `json:"snapshots"`
-	QueuedBatches int     `json:"queued_batches"`
-	EventsPerSec  float64 `json:"events_per_sec"`
+	Enqueued      uint64 `json:"enqueued"`
+	Dropped       uint64 `json:"dropped"`
+	Processed     uint64 `json:"processed"`
+	Batches       uint64 `json:"batches"`
+	Snapshots     uint64 `json:"snapshots"`
+	QueuedBatches int    `json:"queued_batches"`
+	// EventsPerSec is the lifetime average processing rate;
+	// RecentEventsPerSec the rate over the trailing sample window (up to
+	// ~rateWindowSpan), which is what a long-running daemon's dashboard
+	// should watch — the lifetime average goes stale within hours.
+	EventsPerSec       float64 `json:"events_per_sec"`
+	RecentEventsPerSec float64 `json:"recent_events_per_sec"`
+	// CorpusBytes estimates the merged store's resident size under the
+	// flat-slab layout; BytesPerAddr divides it by unique addresses.
+	CorpusBytes  uint64  `json:"corpus_bytes"`
+	BytesPerAddr float64 `json:"bytes_per_addr"`
+}
+
+// rateWindow derives a recent-window rate from (time, counter) samples
+// taken at each Metrics call, pruned to the trailing span.
+type rateWindow struct {
+	mu      sync.Mutex
+	samples []rateSample
+}
+
+type rateSample struct {
+	at        time.Time
+	processed uint64
+}
+
+// rateWindowSpan bounds how far back the recent rate looks. Samples are
+// taken on Metrics() calls, so the effective window is the larger of the
+// caller's polling interval and this span.
+const rateWindowSpan = 60 * time.Second
+
+// maxRateSamples caps the sample buffer against pathological polling.
+const maxRateSamples = 256
+
+// tick records a sample and returns the rate across the retained window;
+// ok is false until two samples span a measurable interval.
+func (w *rateWindow) tick(now time.Time, processed uint64) (rate float64, ok bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.samples = append(w.samples, rateSample{at: now, processed: processed})
+	// Drop samples that fell out of the window (always keeping the two
+	// newest so a slow poller still gets its last interval), and bound
+	// the buffer.
+	cut := 0
+	for cut < len(w.samples)-2 && now.Sub(w.samples[cut+1].at) >= rateWindowSpan {
+		cut++
+	}
+	if over := len(w.samples) - maxRateSamples; over > cut {
+		cut = over
+	}
+	if cut > 0 {
+		w.samples = append(w.samples[:0], w.samples[cut:]...)
+	}
+	oldest := w.samples[0]
+	dt := now.Sub(oldest.at).Seconds()
+	if dt <= 0 || processed < oldest.processed {
+		return 0, false
+	}
+	return float64(processed-oldest.processed) / dt, true
 }
 
 // Metrics returns a point-in-time reading of the counter block.
-// EventsPerSec is the lifetime average processing rate; QueuedBatches
-// sums the current depth of every shard queue (the backpressure
-// signal).
+// QueuedBatches sums the current depth of every shard queue (the
+// backpressure signal). Each call contributes a sample to the recent-
+// rate window, so periodic pollers (the /stats endpoint) get a rolling
+// rate for free.
 func (p *Pipeline) Metrics() MetricsSnapshot {
 	depth := 0
 	for _, s := range p.shards {
 		depth += len(s.in)
 	}
+	now := time.Now()
 	processed := p.metrics.processed.Load()
-	elapsed := time.Since(p.metrics.start).Seconds()
+	elapsed := now.Sub(p.metrics.start).Seconds()
 	rate := 0.0
 	if elapsed > 0 {
 		rate = float64(processed) / elapsed
 	}
+	recent, ok := p.metrics.recent.tick(now, processed)
+	if !ok {
+		// One sample (or a clock hiccup): the lifetime average is the
+		// best recent estimate there is.
+		recent = rate
+	}
+	corpusBytes := p.store.MemoryFootprint()
+	bytesPerAddr := 0.0
+	if n := p.store.NumAddrs(); n > 0 {
+		bytesPerAddr = float64(corpusBytes) / float64(n)
+	}
 	return MetricsSnapshot{
-		Enqueued:      p.metrics.enqueued.Load(),
-		Dropped:       p.metrics.dropped.Load(),
-		Processed:     processed,
-		Batches:       p.metrics.batches.Load(),
-		Snapshots:     p.metrics.snapshots.Load(),
-		QueuedBatches: depth,
-		EventsPerSec:  rate,
+		Enqueued:           p.metrics.enqueued.Load(),
+		Dropped:            p.metrics.dropped.Load(),
+		Processed:          processed,
+		Batches:            p.metrics.batches.Load(),
+		Snapshots:          p.metrics.snapshots.Load(),
+		QueuedBatches:      depth,
+		EventsPerSec:       rate,
+		RecentEventsPerSec: recent,
+		CorpusBytes:        corpusBytes,
+		BytesPerAddr:       bytesPerAddr,
 	}
 }

@@ -1,0 +1,91 @@
+package ingest
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRateWindowRecentRate(t *testing.T) {
+	var w rateWindow
+	t0 := time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)
+
+	if _, ok := w.tick(t0, 0); ok {
+		t.Error("single sample should not yield a rate")
+	}
+	rate, ok := w.tick(t0.Add(10*time.Second), 1000)
+	if !ok || rate != 100 {
+		t.Errorf("rate after 1000 events in 10s: %v (ok=%v), want 100", rate, ok)
+	}
+
+	// A long quiet stretch followed by a burst: the windowed rate must
+	// reflect the recent burst, not the lifetime average.
+	rate, ok = w.tick(t0.Add(20*time.Second), 1000)
+	if !ok || rate != 50 {
+		t.Errorf("idle decay rate: %v (ok=%v), want 50", rate, ok)
+	}
+	// Jump past the window: old samples pruned, rate spans retained ones.
+	rate, ok = w.tick(t0.Add(200*time.Second), 901000)
+	if !ok {
+		t.Fatal("no rate after pruning")
+	}
+	// Oldest retained sample is the one at t0+20s (the two newest are
+	// always kept): (901000-1000)/180s = 5000/s.
+	if rate != 5000 {
+		t.Errorf("post-burst rate %v, want 5000", rate)
+	}
+}
+
+func TestRateWindowCounterRegression(t *testing.T) {
+	var w rateWindow
+	t0 := time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)
+	w.tick(t0, 500)
+	if _, ok := w.tick(t0.Add(time.Second), 400); ok {
+		t.Error("regressing counter must not yield a rate")
+	}
+}
+
+func TestRateWindowBounded(t *testing.T) {
+	var w rateWindow
+	t0 := time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 10*maxRateSamples; i++ {
+		// Sub-millisecond polling: everything stays inside the span, so
+		// only the buffer cap limits growth.
+		w.tick(t0.Add(time.Duration(i)*time.Millisecond), uint64(i))
+	}
+	if len(w.samples) > maxRateSamples {
+		t.Errorf("sample buffer grew to %d (cap %d)", len(w.samples), maxRateSamples)
+	}
+}
+
+func TestMetricsCorpusTelemetry(t *testing.T) {
+	events := testEvents(t, 0.03, 8)
+	p, err := New(DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Ingest(events)
+	p.SnapshotNow()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Store().NumAddrs() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("store never populated")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m := p.Metrics()
+	if m.CorpusBytes == 0 {
+		t.Error("CorpusBytes zero on populated store")
+	}
+	if m.BytesPerAddr <= 0 {
+		t.Errorf("BytesPerAddr %v", m.BytesPerAddr)
+	}
+	// The flat layout should hold a small corpus well under 400 B/addr
+	// even with slab-growth slack.
+	if m.BytesPerAddr > 400 {
+		t.Errorf("BytesPerAddr %.1f implausibly high for the flat layout", m.BytesPerAddr)
+	}
+	if m.RecentEventsPerSec < 0 {
+		t.Errorf("RecentEventsPerSec %v", m.RecentEventsPerSec)
+	}
+	p.Close()
+}

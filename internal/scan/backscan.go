@@ -2,6 +2,7 @@ package scan
 
 import (
 	"math/rand"
+	"sort"
 	"time"
 
 	"hitlist6/internal/addr"
@@ -124,7 +125,15 @@ func Backscan(w *simnet.World, pool PoolSelector, cfg BackscanConfig) *BackscanS
 			continue
 		}
 		probeAt := cfg.Start.Add(time.Duration(k+1) * cfg.Interval)
+		// Probe in canonical address order: the batch is a map, and
+		// pairing clients with rng draws in map iteration order would
+		// make the campaign nondeterministic across runs of one seed.
+		clients := make([]addr.Addr, 0, len(b))
 		for client := range b {
+			clients = append(clients, client)
+		}
+		sort.Slice(clients, func(i, j int) bool { return clients[i].Less(clients[j]) })
+		for _, client := range clients {
 			res := w.Probe(client, probeAt)
 			outcome := BackscanOutcome{
 				Client:          client,

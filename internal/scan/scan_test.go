@@ -312,6 +312,33 @@ func TestBackscan(t *testing.T) {
 	}
 }
 
+// TestBackscanDeterministic pins the campaign's reproducibility: one
+// seed must pair the same clients with the same random canaries on
+// every run. The batches are maps, so an implementation that probes in
+// map iteration order consumes the rng in a different order each run —
+// the regression this guards against.
+func TestBackscanDeterministic(t *testing.T) {
+	w := tinyWorld(t, 35)
+	start := w.Origin.Add(5 * 24 * time.Hour)
+	end := start.Add(24 * time.Hour)
+	cfg := DefaultBackscanConfig(start, end, 77)
+	ref := Backscan(w, fixedSelector{0}, cfg)
+	if len(ref.Outcomes) == 0 {
+		t.Fatal("no outcomes; determinism check vacuous")
+	}
+	for run := 0; run < 3; run++ {
+		got := Backscan(w, fixedSelector{0}, cfg)
+		if len(got.Outcomes) != len(ref.Outcomes) {
+			t.Fatalf("run %d: %d outcomes, want %d", run, len(got.Outcomes), len(ref.Outcomes))
+		}
+		for i, o := range got.Outcomes {
+			if o != ref.Outcomes[i] {
+				t.Fatalf("run %d: outcome %d differs: %+v vs %+v", run, i, o, ref.Outcomes[i])
+			}
+		}
+	}
+}
+
 func TestBackscanVantageFiltering(t *testing.T) {
 	w := tinyWorld(t, 36)
 	start := w.Origin.Add(5 * 24 * time.Hour)

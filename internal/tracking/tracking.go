@@ -69,12 +69,26 @@ func (c Class) String() string {
 // transitionThreshold is the paper's "more than 10 transitions is high".
 const transitionThreshold = 10
 
-// MACInfo aggregates everything known about one EUI-64 identifier.
+// P64Span is one /64 the identifier appeared in, with its sighting
+// window in Unix seconds.
+type P64Span struct {
+	P64         addr.Prefix64
+	First, Last int64
+}
+
+// MACInfo aggregates everything known about one EUI-64 identifier. All
+// fields are copied out of the collector, so an analysis owns its data
+// outright — it stays valid (and race-free) after the store it was read
+// from keeps merging snapshots.
 type MACInfo struct {
 	MAC    addr.MAC
 	IID    addr.IID
 	Vendor string
-	Record *collector.IIDRecord
+	// First, Last and Count summarize all sightings of the identifier.
+	First, Last int64
+	Count       uint32
+	// Spans holds the per-/64 sighting windows, sorted by prefix.
+	Spans []P64Span
 	// ASNs and Countries are the distinct origin networks the identifier
 	// appeared in.
 	ASNs      map[asdb.ASN]struct{}
@@ -82,6 +96,11 @@ type MACInfo struct {
 	// Transitions approximates /64 changes as (#distinct /64s - 1).
 	Transitions int
 	Class       Class
+}
+
+// Lifetime returns the identifier's observed lifetime.
+func (m *MACInfo) Lifetime() time.Duration {
+	return time.Duration(m.Last-m.First) * time.Second
 }
 
 // Classify applies the paper's heuristic to one identifier's footprint.
@@ -132,7 +151,7 @@ func Analyze(c *collector.Collector, db *asdb.DB, geo *geodb.DB, reg *oui.Regist
 	a := &Analysis{VendorCounts: make(map[string]int)}
 
 	// Count unique EUI-64 *addresses* for the prevalence headline.
-	c.Addrs(func(ad addr.Addr, _ *collector.AddrRecord) bool {
+	c.Addrs(func(ad addr.Addr, _ collector.AddrRecord) bool {
 		if ad.IID().IsEUI64() {
 			a.EUI64Addresses++
 		}
@@ -140,7 +159,7 @@ func Analyze(c *collector.Collector, db *asdb.DB, geo *geodb.DB, reg *oui.Regist
 	})
 	a.ExpectedRandom = float64(c.NumAddrs()) / 65536
 
-	c.EUI64IIDs(func(iid addr.IID, r *collector.IIDRecord) bool {
+	c.EUI64IIDs(func(iid addr.IID, r collector.IIDView) bool {
 		mac, err := addr.MACFromEUI64(iid)
 		if err != nil {
 			return true
@@ -149,11 +168,15 @@ func Analyze(c *collector.Collector, db *asdb.DB, geo *geodb.DB, reg *oui.Regist
 			MAC:       mac,
 			IID:       iid,
 			Vendor:    reg.LookupMAC(mac),
-			Record:    r,
+			First:     r.First(),
+			Last:      r.Last(),
+			Count:     r.Count(),
+			Spans:     make([]P64Span, 0, r.NumP64s()),
 			ASNs:      make(map[asdb.ASN]struct{}),
 			Countries: make(map[string]struct{}),
 		}
-		for p := range r.P64s {
+		r.P64s(func(p addr.Prefix64, sp collector.Span) bool {
+			info.Spans = append(info.Spans, P64Span{P64: p, First: sp.First, Last: sp.Last})
 			base := p.Addr()
 			if asn, ok := db.OriginASN(base); ok {
 				info.ASNs[asn] = struct{}{}
@@ -161,8 +184,10 @@ func Analyze(c *collector.Collector, db *asdb.DB, geo *geodb.DB, reg *oui.Regist
 			if cc := geo.Country(base); cc != "" {
 				info.Countries[cc] = struct{}{}
 			}
-		}
-		info.Transitions = len(r.P64s) - 1
+			return true
+		})
+		sort.Slice(info.Spans, func(i, j int) bool { return info.Spans[i].P64 < info.Spans[j].P64 })
+		info.Transitions = len(info.Spans) - 1
 		info.Class = Classify(len(info.ASNs), len(info.Countries), info.Transitions)
 		a.MACs = append(a.MACs, info)
 		a.VendorCounts[info.Vendor]++
@@ -246,7 +271,7 @@ func (a *Analysis) UnlistedShare() float64 {
 // Figure6a builds the CDF of EUI-64 IID lifetimes.
 func Figure6a(c *collector.Collector) *stats.Distribution {
 	var samples []float64
-	c.EUI64IIDs(func(_ addr.IID, r *collector.IIDRecord) bool {
+	c.EUI64IIDs(func(_ addr.IID, r collector.IIDView) bool {
 		samples = append(samples, r.Lifetime().Seconds())
 		return true
 	})
@@ -257,8 +282,8 @@ func Figure6a(c *collector.Collector) *stats.Distribution {
 // appears in (the paper plots its CCDF).
 func Figure6b(c *collector.Collector) *stats.Distribution {
 	var samples []float64
-	c.EUI64IIDs(func(_ addr.IID, r *collector.IIDRecord) bool {
-		samples = append(samples, float64(len(r.P64s)))
+	c.EUI64IIDs(func(_ addr.IID, r collector.IIDView) bool {
+		samples = append(samples, float64(r.NumP64s()))
 		return true
 	})
 	return stats.NewDistribution(samples)
@@ -278,8 +303,8 @@ type TimelineEntry struct {
 // first sighting.
 func Timeline(info *MACInfo, db *asdb.DB) []TimelineEntry {
 	byP48 := make(map[addr.Prefix48]*TimelineEntry)
-	for p, span := range info.Record.P64s {
-		p48 := p.P48()
+	for _, span := range info.Spans {
+		p48 := span.P64.P48()
 		e, ok := byP48[p48]
 		if !ok {
 			e = &TimelineEntry{
@@ -320,9 +345,9 @@ func (a *Analysis) Exemplar(c Class) *MACInfo {
 	var best *MACInfo
 	score := func(m *MACInfo) int {
 		if c == MACReuse {
-			return len(m.Countries)*1000 + len(m.Record.P64s)
+			return len(m.Countries)*1000 + len(m.Spans)
 		}
-		return len(m.Record.P64s)
+		return len(m.Spans)
 	}
 	for _, m := range a.MACs {
 		if m.Class != c {

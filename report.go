@@ -40,7 +40,7 @@ func (s *Study) Report() (string, error) {
 	// constant-space estimator a full deployment would use next to the
 	// exact count this simulation can afford.
 	if sketch, err := cardinality.NewHLL(14); err == nil {
-		s.Collector.Addrs(func(a addr.Addr, _ *collector.AddrRecord) bool {
+		s.Collector.Addrs(func(a addr.Addr, _ collector.AddrRecord) bool {
 			sketch.AddAddr(a)
 			return true
 		})
