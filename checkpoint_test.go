@@ -1,0 +1,236 @@
+package hitlist6
+
+import (
+	"io"
+
+	"hitlist6/internal/ingest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// smallCheckpointConfig is a fast study shape for resume tests.
+func smallCheckpointConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.02
+	cfg.Days = 10
+	cfg.SliceDay = 5
+	cfg.HitlistRounds = 1
+	cfg.BackscanDays = 2
+	cfg.IngestShards = 4
+	return cfg
+}
+
+// TestCollectPassiveResumeEquivalence is the study-level durability
+// contract: interrupt a passive collection at a mid-run checkpoint,
+// resume it in a fresh Study (fresh process, as far as the corpus is
+// concerned), and every output of the pass — corpus, day slice, outage
+// series, run stats — must be byte-identical to an uninterrupted run.
+func TestCollectPassiveResumeEquivalence(t *testing.T) {
+	baseline, err := NewStudy(smallCheckpointConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := baseline.CollectPassive(); err != nil {
+		t.Fatal(err)
+	}
+	total := baseline.RunStats.Queries
+	if total < 100 {
+		t.Fatalf("study too small to interrupt meaningfully: %d queries", total)
+	}
+
+	// First run: checkpoint frequently; the last checkpoint lands
+	// mid-replay (cadence does not divide the total), so the file left
+	// behind is a genuine interruption point, not the final state.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "study.ckpt")
+	cfgA := smallCheckpointConfig()
+	cfgA.CheckpointPath = path
+	cfgA.CheckpointEvery = int(total/3) + 7
+	runA, err := NewStudy(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runA.CollectPassive(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+
+	// Second run, same config, same checkpoint path: must resume from
+	// the mid-run checkpoint rather than replay from scratch, and land
+	// on identical results.
+	runB, err := NewStudy(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runB.CollectPassive(); err != nil {
+		t.Fatal(err)
+	}
+
+	if runB.Collector.Checksum() != baseline.Collector.Checksum() {
+		t.Errorf("resumed corpus differs from uninterrupted run")
+	}
+	if runB.DayCollector.Checksum() != baseline.DayCollector.Checksum() {
+		t.Errorf("resumed day slice differs from uninterrupted run")
+	}
+	if runB.RunStats.Queries != baseline.RunStats.Queries ||
+		runB.RunStats.UniqueClients != baseline.RunStats.UniqueClients {
+		t.Errorf("resumed run stats differ: %+v vs %+v", runB.RunStats, baseline.RunStats)
+	}
+
+	sa, err := baseline.OutageSeries.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := runB.OutageSeries.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sa) != string(sb) {
+		t.Errorf("resumed outage series differs from uninterrupted run")
+	}
+
+	// And the analyses downstream of the resumed pass agree too.
+	evA, err := baseline.DetectOutages(2 * baseline.Config.OutageBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evB, err := runB.DetectOutages(2 * runB.Config.OutageBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evA) != len(evB) {
+		t.Errorf("resumed outage detection found %d events, baseline %d", len(evB), len(evA))
+	}
+}
+
+// TestCollectPassiveResumeRejectsMismatch: a checkpoint recorded under
+// a different study configuration must be refused loudly.
+func TestCollectPassiveResumeRejectsMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "study.ckpt")
+	cfgA := smallCheckpointConfig()
+	cfgA.Days = 6
+	cfgA.SliceDay = 3
+	cfgA.CheckpointPath = path
+	cfgA.CheckpointEvery = 500
+	runA, err := NewStudy(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runA.CollectPassive(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Skipf("run too small to checkpoint: %v", err)
+	}
+
+	cfgB := cfgA
+	cfgB.Seed = cfgA.Seed + 1
+	runB, err := NewStudy(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runB.CollectPassive(); err == nil {
+		t.Fatal("checkpoint from a different seed was accepted")
+	}
+}
+
+// TestCollectPassiveResumeRejectsCorrupt: flipping one byte anywhere in
+// the checkpoint file must make resume fail with an error (the study
+// path is explicit; the daemon path is the one that falls back).
+func TestCollectPassiveResumeRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "study.ckpt")
+	cfg := smallCheckpointConfig()
+	cfg.Days = 6
+	cfg.SliceDay = 3
+	cfg.CheckpointPath = path
+	cfg.CheckpointEvery = 500
+	runA, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runA.CollectPassive(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Skipf("run too small to checkpoint: %v", err)
+	}
+	for _, off := range []int{0, 11, len(raw) / 3, len(raw) / 2, len(raw) - 1} {
+		mutated := append([]byte(nil), raw...)
+		mutated[off] ^= 0x08
+		if err := os.WriteFile(path, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		runB, err := NewStudy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := runB.CollectPassive(); err == nil {
+			t.Fatalf("corrupt checkpoint (byte %d flipped) resumed silently", off)
+		}
+	}
+	// Truncations too.
+	for _, cut := range []int{1, 12, 60, len(raw) / 2, len(raw) - 1} {
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		runB, err := NewStudy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := runB.CollectPassive(); err == nil {
+			t.Fatalf("checkpoint truncated at %d resumed silently", cut)
+		}
+	}
+}
+
+// TestStudyCheckpointRoundTrip exercises the codec directly: meta and
+// series survive a write/read cycle.
+func TestStudyCheckpointRoundTrip(t *testing.T) {
+	cfg := smallCheckpointConfig()
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CollectPassive(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rt.ckpt")
+	bin := cfg.OutageBin
+	if bin == 0 {
+		bin = time.Hour
+	}
+	// Serialize the finished state by hand (the production path writes
+	// mid-run; the codec is the same).
+	_, err = ingest.AtomicWriteFile(path, func(w io.Writer) error {
+		return writeStudyCheckpoint(w, metaFor(s.Config, bin, s.RunStats.Queries),
+			s.OutageSeries, s.Collector, s.DayCollector)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := readCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.meta.events != s.RunStats.Queries || ck.meta.seed != cfg.Seed {
+		t.Fatalf("meta drifted: %+v", ck.meta)
+	}
+	if ck.corpus.Checksum() != s.Collector.Checksum() {
+		t.Fatal("corpus drifted through the checkpoint codec")
+	}
+	if ck.day.Checksum() != s.DayCollector.Checksum() {
+		t.Fatal("day slice drifted through the checkpoint codec")
+	}
+	wantSeries, _ := s.OutageSeries.MarshalBinary()
+	gotSeries, _ := ck.series.MarshalBinary()
+	if string(wantSeries) != string(gotSeries) {
+		t.Fatal("series drifted through the checkpoint codec")
+	}
+}

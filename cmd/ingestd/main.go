@@ -37,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
@@ -68,6 +69,8 @@ func main() {
 		outBin    = flag.Duration("outage.bin", time.Hour, "outage series bin width (whole seconds; 0 disables the outage consumer)")
 		outEvery  = flag.Duration("outage.every", 30*time.Second, "how often the live outage detector rescans the series")
 		outWindow = flag.Int("outage.window", 0, "rolling detection window in complete bins (0 = whole series)")
+		snapDir   = flag.String("snapshot.dir", "", "directory for durable corpus snapshots (restore on start, checkpoint while running)")
+		snapEvery = flag.Duration("snapshot.every", 0, "how often to checkpoint the corpus into -snapshot.dir (0 = only on /snapshot)")
 	)
 	flag.Parse()
 
@@ -110,6 +113,15 @@ func main() {
 		routes = db
 	}
 
+	if *snapEvery < 0 {
+		fmt.Fprintf(os.Stderr, "ingestd: -snapshot.every %v must be non-negative\n", *snapEvery)
+		os.Exit(2)
+	}
+	if *snapEvery > 0 && *snapDir == "" {
+		fmt.Fprintln(os.Stderr, "ingestd: -snapshot.every needs -snapshot.dir")
+		os.Exit(2)
+	}
+
 	cfg := ingest.Config{
 		Shards:           *shards,
 		BatchSize:        *batch,
@@ -121,6 +133,19 @@ func main() {
 			ingest.Categories(),
 			ingest.Cardinality(uint8(*hllPrec)),
 		},
+	}
+	snapPath := ""
+	if *snapDir != "" {
+		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "ingestd: snapshot dir:", err)
+			os.Exit(1)
+		}
+		snapPath = snapshotPath(*snapDir)
+		cfg.Seed = restoreOrEmpty(snapPath, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		})
+		cfg.CheckpointPath = snapPath
+		cfg.CheckpointInterval = *snapEvery
 	}
 	if routes != nil {
 		cfg.Stages = append(cfg.Stages, ingest.OutageSeriesLive(routes, *outBin))
@@ -156,6 +181,30 @@ func main() {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(reply); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if snapPath == "" {
+			http.Error(w, "snapshots disabled (no -snapshot.dir)", http.StatusNotFound)
+			return
+		}
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST triggers a snapshot", http.StatusMethodNotAllowed)
+			return
+		}
+		start := time.Now()
+		size, err := pipe.CheckpointFile(snapPath)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(snapshotReply{
+			Path:   snapPath,
+			Bytes:  size,
+			Millis: time.Since(start).Milliseconds(),
+		}); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -212,10 +261,52 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 
+	// Graceful exit writes a final checkpoint: everything ingested since
+	// the last periodic tick would otherwise be lost to a clean shutdown.
+	if snapPath != "" {
+		if size, err := pipe.CheckpointFile(snapPath); err != nil {
+			fmt.Fprintln(os.Stderr, "ingestd: final checkpoint:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "ingestd: final checkpoint: %d bytes to %s\n", size, snapPath)
+		}
+	}
+
 	m := pipe.Metrics()
 	fmt.Fprintf(os.Stderr, "\ningestd: %d processed, %d dropped, %d malformed; unique addrs %d; corpus %.1f MB (%.0f B/addr)\n",
 		m.Processed, m.Dropped, badLines.Load(), pipe.Store().NumAddrs(),
 		float64(m.CorpusBytes)/(1<<20), m.BytesPerAddr)
+}
+
+// snapshotPath is where the durable corpus lives inside -snapshot.dir.
+func snapshotPath(dir string) string {
+	return filepath.Join(dir, "corpus.snap")
+}
+
+// restoreOrEmpty loads the corpus checkpoint for daemon startup. A
+// daemon must come up even when its checkpoint is damaged — losing the
+// corpus and re-accumulating beats refusing to collect — so missing
+// files start empty silently and unreadable/corrupt files start empty
+// with a logged warning. (Batch/study runs make the opposite choice:
+// see hitlist6.Config.CheckpointPath.)
+func restoreOrEmpty(path string, logf func(format string, args ...any)) *collector.Collector {
+	c, err := ingest.RestoreFile(path)
+	if err != nil {
+		logf("ingestd: WARNING: checkpoint %s unusable, starting with an empty corpus: %v", path, err)
+		return nil
+	}
+	if c == nil {
+		return nil
+	}
+	logf("ingestd: restored %d addresses (%d observations) from %s",
+		c.NumAddrs(), c.TotalObservations(), path)
+	return c
+}
+
+// snapshotReply is the /snapshot JSON shape.
+type snapshotReply struct {
+	Path   string `json:"path"`
+	Bytes  int64  `json:"bytes"`
+	Millis int64  `json:"millis"`
 }
 
 // statsReply is the /stats JSON shape.

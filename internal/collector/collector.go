@@ -130,6 +130,69 @@ func (s *slab[T]) at(i uint32) *T {
 	return &s.chunks[j>>chunkBits][j&chunkMask]
 }
 
+// adoptAll moves every record of a donor slab onto the end of s,
+// working in whole chunks. When s ends exactly on a chunk boundary the
+// donor's chunks are adopted by reference — O(1) per chunk, no record
+// copies; the donor owned them exclusively and hands them over. A
+// misaligned tail (or a donor head chunk that could still grow and
+// therefore move) is copied in chunk-sized runs instead. Donor record i
+// lands at index s.n+i either way. The donor slab must not be used
+// afterwards.
+func (s *slab[T]) adoptAll(o *slab[T]) {
+	if o.n == 0 {
+		return
+	}
+	if s.n >= chunkSize && s.n&chunkMask == 0 && int((s.n-chunkSize)>>chunkBits) == len(s.chunks) {
+		// Chunk-aligned: adopt the donor's chunk backbone by reference.
+		// The donor head is only safe to alias when full — a partial head
+		// adopted as s's growing tail chunk could be forced to reallocate
+		// (and move) by a later append if its capacity is short, breaking
+		// the "later chunks never move" contract — so a partial head is
+		// recopied into a full-capacity chunk.
+		head := o.head
+		if uint32(len(head)) < chunkSize {
+			head = append(make([]T, 0, chunkSize), o.head...)
+		}
+		s.chunks = append(s.chunks, head)
+		s.chunks = append(s.chunks, o.chunks...)
+		s.n += o.n
+		*o = slab[T]{}
+		return
+	}
+	// Misaligned: copy records through in runs, one donor chunk at a
+	// time — still whole-chunk memmoves, just not pointer adoptions.
+	copyRun := func(run []T) {
+		for len(run) > 0 {
+			i := s.n
+			var dst []T
+			var room uint32
+			if i < chunkSize {
+				// Grow the head to its final size in one step.
+				need := min(uint32(len(run)), chunkSize-i)
+				s.head = append(s.head, run[:need]...)
+				s.n += need
+				run = run[need:]
+				continue
+			}
+			ci := int((i - chunkSize) >> chunkBits)
+			if ci == len(s.chunks) {
+				s.chunks = append(s.chunks, make([]T, 0, chunkSize))
+			}
+			dst = s.chunks[ci]
+			room = chunkSize - uint32(len(dst))
+			n := min(uint32(len(run)), room)
+			s.chunks[ci] = append(dst, run[:n]...)
+			s.n += n
+			run = run[n:]
+		}
+	}
+	copyRun(o.head)
+	for _, ch := range o.chunks {
+		copyRun(ch)
+	}
+	*o = slab[T]{}
+}
+
 // bytes returns the slab's resident size.
 func (s *slab[T]) bytes() uint64 {
 	var zero T
@@ -256,6 +319,27 @@ func (s *u64set) grow() {
 	}
 }
 
+// contains reports membership without inserting.
+func (s *u64set) contains(v uint64) bool {
+	if v == 0 {
+		return s.hasZero
+	}
+	if len(s.slots) == 0 {
+		return false
+	}
+	mask := uint64(len(s.slots) - 1)
+	pos := mix64(v) & mask
+	for {
+		switch s.slots[pos] {
+		case 0:
+			return false
+		case v:
+			return true
+		}
+		pos = (pos + 1) & mask
+	}
+}
+
 // each visits every element (unspecified order).
 func (s *u64set) each(fn func(v uint64)) {
 	if s.hasZero {
@@ -311,19 +395,7 @@ func (c *Collector) growAddrIdx() {
 	if len(c.addrIdx) > 0 {
 		next = len(c.addrIdx) * 2
 	}
-	old := c.addrIdx
-	c.addrIdx = make([]uint32, next)
-	mask := uint64(next - 1)
-	for _, v := range old {
-		if v == 0 {
-			continue
-		}
-		pos := c.addrRecs.at(v-1).key.Hash64() & mask
-		for c.addrIdx[pos] != 0 {
-			pos = (pos + 1) & mask
-		}
-		c.addrIdx[pos] = v
-	}
+	c.resizeAddrIdx(next)
 }
 
 // findAddr returns the slab index of a's record, or with ok == false the
@@ -375,19 +447,7 @@ func (c *Collector) growIIDIdx() {
 	if len(c.iidIdx) > 0 {
 		next = len(c.iidIdx) * 2
 	}
-	old := c.iidIdx
-	c.iidIdx = make([]uint32, next)
-	mask := uint64(next - 1)
-	for _, v := range old {
-		if v == 0 {
-			continue
-		}
-		pos := mix64(uint64(c.iidKeyOf(v-1))) & mask
-		for c.iidIdx[pos] != 0 {
-			pos = (pos + 1) & mask
-		}
-		c.iidIdx[pos] = v
-	}
+	c.resizeIIDIdx(next)
 }
 
 // findIID returns iid's table reference, or with ok == false the empty
@@ -760,18 +820,41 @@ func (c *Collector) Merge(o *Collector) {
 	o.p48s.each(func(v uint64) { c.p48s.insert(v) })
 	o.p64s.each(func(v uint64) { c.p64s.insert(v) })
 
-	for _, v := range o.iidIdx {
-		if v == 0 {
-			continue
-		}
-		if oref := v - 1; oref&promotedTag != 0 {
-			c.mergeIIDPromoted(o, o.iidRecs.at(oref&^promotedTag))
-		} else {
-			oe := o.addrRecs.at(oref)
-			c.mergeIIDSingleton(oe.key, oe.rec)
-		}
+	// The IID pass must NOT walk o.iidIdx in slot order: slot order is
+	// ascending hash order, and when both tables share a mask (shards of
+	// similar size always do) that means inserting into c in ascending
+	// home-position order. Near c's load threshold such a sweep sews
+	// every existing probe run into one — a third of the table can end
+	// up as a single occupied run mid-merge — and each lookup behind the
+	// sweep front degrades to O(table): a quadratic merge in practice
+	// (~100x slower at a million records). Promoted entries therefore
+	// merge in slab order and singletons in address-slab order, both
+	// uncorrelated with hash position (and sequential on the donor side,
+	// as a bonus). Merge results are order-independent, so only the cost
+	// changes.
+	for i := uint32(0); i < o.iidRecs.n; i++ {
+		c.mergeIIDPromoted(o, o.iidRecs.at(i))
+	}
+	for _, ref := range o.singletonRefs() {
+		oe := o.addrRecs.at(ref)
+		c.mergeIIDSingleton(oe.key, oe.rec)
 	}
 	c.total += o.total
+}
+
+// singletonRefs returns every singleton IID's address-slab reference,
+// ref-sorted (address insertion order — deliberately uncorrelated with
+// IID hash order; see the Merge comment).
+func (c *Collector) singletonRefs() []uint32 {
+	singles := make([]uint32, 0, c.iidUsed-c.iidRecs.n)
+	for _, v := range c.iidIdx {
+		if v == 0 || (v-1)&promotedTag != 0 {
+			continue
+		}
+		singles = append(singles, v-1)
+	}
+	radixSortU32(singles)
+	return singles
 }
 
 // mergeIIDSingleton folds an IID that o saw under exactly one address
@@ -870,6 +953,179 @@ func (c *Collector) mergeIIDPromoted(o *Collector, or *iidEntry) {
 		sn := o.spans.at(si)
 		c.widenSpan(r, sn.p64, sn.first, sn.last)
 		si = sn.next
+	}
+}
+
+// Absorb folds another collector's observations into c like Merge, but
+// takes ownership of o — the donor must not be used afterwards — which
+// unlocks the chunk-level fast paths record-by-record merging cannot
+// have:
+//
+//   - Into an empty c, the donor's slabs, tables and prefix sets move
+//     over wholesale: O(1), no record is touched.
+//   - When the key ranges do not collide (no donor address or IID
+//     already present in c — the common case for cross-shard merges,
+//     whose address-hash partitioning makes shards disjoint by
+//     construction), the donor's slab chunks are adopted whole: records
+//     land by chunk move with their span chains and singleton
+//     references rebased in bulk, and only the index tables see
+//     per-record work. None of the merge machinery — record compare,
+//     promotion, span-chain walking — runs.
+//   - Colliding corpora fall back to Merge's record-by-record path.
+//
+// The result is observation-identical to Merge in every case (pinned by
+// the chunk-vs-record equivalence tests); only the cost differs. This
+// is what Store.ApplyShard runs on every shard snapshot.
+func (c *Collector) Absorb(o *Collector) {
+	if o == nil {
+		return
+	}
+	if o.addrRecs.n == 0 && o.iidUsed == 0 {
+		c.total += o.total
+		*o = Collector{}
+		return
+	}
+	if c.addrRecs.n == 0 && c.iidUsed == 0 && c.spans.n == 0 {
+		total := c.total
+		*c = *o
+		c.total += total
+		*o = Collector{}
+		return
+	}
+	if !c.disjointFrom(o) {
+		c.Merge(o)
+		*o = Collector{}
+		return
+	}
+	c.adoptDisjoint(o)
+}
+
+// disjointFrom reports whether none of o's addresses or IIDs already
+// exist in c: the precondition for chunk adoption. Pure probes — O(n)
+// hash lookups, no allocation — bailing at the first collision.
+func (c *Collector) disjointFrom(o *Collector) bool {
+	for i := uint32(0); i < o.addrRecs.n; i++ {
+		if _, _, ok := c.findAddr(o.addrRecs.at(i).key); ok {
+			return false
+		}
+	}
+	for _, v := range o.iidIdx {
+		if v == 0 {
+			continue
+		}
+		if _, _, ok := c.findIID(o.iidKeyOf(v - 1)); ok {
+			return false
+		}
+	}
+	return true
+}
+
+// adoptDisjoint implements Absorb's non-colliding fast path: whole-chunk
+// slab adoption with bulk index rebasing. Donor record i lands at
+// base+i in each slab, so intra-donor references — span chain nexts,
+// IID span heads, singleton address references — stay valid under a
+// constant offset.
+func (c *Collector) adoptDisjoint(o *Collector) {
+	addrBase := c.addrRecs.n
+	iidBase := c.iidRecs.n
+	spanBase := c.spans.n
+
+	c.addrRecs.adoptAll(&o.addrRecs)
+	c.iidRecs.adoptAll(&o.iidRecs)
+	c.spans.adoptAll(&o.spans)
+
+	// Rebase the adopted IID entries' span heads and the adopted span
+	// nodes' chain links by the slab offsets.
+	for i := iidBase; i < c.iidRecs.n; i++ {
+		if e := c.iidRecs.at(i); e.spans != spanNone {
+			e.spans += spanBase
+		}
+	}
+	for i := spanBase; i < c.spans.n; i++ {
+		if n := c.spans.at(i); n.next != spanNone {
+			n.next += spanBase
+		}
+	}
+
+	// Index the adopted records. Presize both tables once for the final
+	// counts so adoption never rehashes mid-insert.
+	if need := tableSizeFor(uint64(c.addrRecs.n)); need > len(c.addrIdx) {
+		c.resizeAddrIdx(need)
+	}
+	mask := uint64(len(c.addrIdx) - 1)
+	for i := addrBase; i < c.addrRecs.n; i++ {
+		e := c.addrRecs.at(i)
+		pos := e.key.Hash64() & mask
+		for c.addrIdx[pos] != 0 {
+			pos = (pos + 1) & mask
+		}
+		c.addrIdx[pos] = i + 1
+		c.p48s.insert(uint64(e.key.P48()))
+		c.p64s.insert(uint64(e.key.P64()))
+	}
+
+	if need := tableSizeFor(uint64(c.iidUsed) + uint64(o.iidUsed)); need > len(c.iidIdx) {
+		c.resizeIIDIdx(need)
+	}
+	mask = uint64(len(c.iidIdx) - 1)
+	insert := func(ref uint32, iid addr.IID) {
+		pos := mix64(uint64(iid)) & mask
+		for c.iidIdx[pos] != 0 {
+			pos = (pos + 1) & mask
+		}
+		c.iidIdx[pos] = ref + 1
+		c.iidUsed++
+	}
+	// Slab order for promoted entries, ref order for singletons: like
+	// Merge, never insert in the donor table's slot (= ascending hash)
+	// order — see the Merge comment for the probe-run pathology. The
+	// adopted promoted entries are iidBase..n of c's slab now (adoptAll
+	// emptied o's).
+	for ri := iidBase; ri < c.iidRecs.n; ri++ {
+		insert(ri|promotedTag, c.iidRecs.at(ri).key)
+	}
+	for _, ref := range o.singletonRefs() {
+		ai := ref + addrBase
+		insert(ai, c.addrRecs.at(ai).key.IID())
+	}
+
+	c.total += o.total
+	*o = Collector{}
+}
+
+// resizeAddrIdx rebuilds the address table at the given power-of-two
+// slot count.
+func (c *Collector) resizeAddrIdx(slots int) {
+	old := c.addrIdx
+	c.addrIdx = make([]uint32, slots)
+	mask := uint64(slots - 1)
+	for _, v := range old {
+		if v == 0 {
+			continue
+		}
+		pos := c.addrRecs.at(v-1).key.Hash64() & mask
+		for c.addrIdx[pos] != 0 {
+			pos = (pos + 1) & mask
+		}
+		c.addrIdx[pos] = v
+	}
+}
+
+// resizeIIDIdx rebuilds the IID table at the given power-of-two slot
+// count.
+func (c *Collector) resizeIIDIdx(slots int) {
+	old := c.iidIdx
+	c.iidIdx = make([]uint32, slots)
+	mask := uint64(slots - 1)
+	for _, v := range old {
+		if v == 0 {
+			continue
+		}
+		pos := mix64(uint64(c.iidKeyOf(v-1))) & mask
+		for c.iidIdx[pos] != 0 {
+			pos = (pos + 1) & mask
+		}
+		c.iidIdx[pos] = v
 	}
 }
 

@@ -1,6 +1,9 @@
 package collector
 
-import "sync"
+import (
+	"io"
+	"sync"
+)
 
 // Store is the single-writer merged view of sharded collection: ingest
 // shards accumulate into private Collectors and periodically hand their
@@ -23,15 +26,19 @@ func NewStore() *Store {
 	return &Store{c: New()}
 }
 
-// ApplyShard folds one shard snapshot into the merged view. The snapshot
-// must not be written again by its shard afterwards (shards swap in a
-// fresh Collector before handing one over).
+// ApplyShard folds one shard snapshot into the merged view. The store
+// takes ownership: the snapshot must not be used again by its shard
+// afterwards (shards swap in a fresh Collector before handing one
+// over), which lets the merge adopt whole slab chunks from the donor
+// instead of re-inserting record by record (see Collector.Absorb) —
+// shards partition the address space by hash, so cross-shard snapshots
+// never collide and almost every ApplyShard takes the chunk path.
 func (s *Store) ApplyShard(part *Collector) {
 	if part == nil {
 		return
 	}
 	s.mu.Lock()
-	s.c.Merge(part)
+	s.c.Absorb(part)
 	s.merges++
 	s.mu.Unlock()
 }
@@ -86,6 +93,17 @@ func (s *Store) Checksum() [32]byte {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.c.Checksum()
+}
+
+// Snapshot writes the merged corpus's durable encoding (see
+// Collector.Snapshot) under the read lock: writers are held off for the
+// duration, readers proceed. This is the daemon checkpoint path — pair
+// it with OpenSnapshot and ApplyShard (or ingest.Config.Seed) to
+// restore on the next start.
+func (s *Store) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.c.Snapshot(w)
 }
 
 // Detach returns the merged Collector and resets the store to empty. It

@@ -1,0 +1,104 @@
+package ingest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hitlist6/internal/collector"
+)
+
+// Checkpointing is the pipeline's durability seam: Checkpoint writes
+// the merged corpus's snapshot (see collector.Snapshot) after a full
+// Quiesce, so the artifact provably contains every event flushed before
+// the call; CheckpointFile adds the crash-safe file protocol (write to
+// a temp file in the same directory, fsync, rename) so a torn write
+// can never shadow the previous good checkpoint; RestoreFile is the
+// other half, feeding Config.Seed on the next start.
+
+// Checkpoint quiesces the pipeline and writes the merged corpus
+// snapshot to w. Must not race with Close.
+func (p *Pipeline) Checkpoint(w *bufio.Writer) error {
+	p.Quiesce()
+	if err := p.store.Snapshot(w); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// AtomicWriteFile writes a file via the crash-safe protocol every
+// durable artifact in this codebase shares: a temp file in the target's
+// directory (so the rename is same-filesystem and atomic), buffered
+// writes, flush, fsync, close, then rename. On any error the previous
+// file at path — the last good checkpoint — is untouched. Returns the
+// bytes written. Study checkpoints reuse this; keep crash-safety fixes
+// here, in the one copy.
+func AtomicWriteFile(path string, write func(w io.Writer) error) (int64, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	err = write(bw)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	size := int64(0)
+	if fi, statErr := tmp.Stat(); statErr == nil {
+		size = fi.Size()
+	}
+	if closeErr := tmp.Close(); err == nil {
+		err = closeErr
+	}
+	if err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, err
+	}
+	return size, nil
+}
+
+// CheckpointFile checkpoints to path atomically (see AtomicWriteFile)
+// and returns the snapshot's size in bytes.
+func (p *Pipeline) CheckpointFile(path string) (int64, error) {
+	size, err := AtomicWriteFile(path, func(w io.Writer) error {
+		p.Quiesce()
+		return p.store.Snapshot(w)
+	})
+	if err != nil {
+		return 0, fmt.Errorf("ingest: checkpoint %s: %w", path, err)
+	}
+	p.metrics.checkpoints.Add(1)
+	p.metrics.lastCheckpointUnix.Store(time.Now().Unix())
+	p.metrics.lastCheckpointBytes.Store(uint64(size))
+	return size, nil
+}
+
+// RestoreFile loads a checkpoint written by CheckpointFile. A missing
+// file is not an error — it returns (nil, nil), the empty-start case —
+// while an unreadable or corrupt checkpoint returns the error for the
+// caller to decide on (daemons log and start empty; batch runs abort).
+func RestoreFile(path string) (*collector.Collector, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ingest: restore %s: %w", path, err)
+	}
+	defer f.Close()
+	c, err := collector.OpenSnapshot(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("ingest: restore %s: %w", path, err)
+	}
+	return c, nil
+}

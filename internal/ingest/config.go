@@ -53,6 +53,21 @@ type Config struct {
 	// instance of every stage, and snapshots merge them into the
 	// pipeline-level results readable via StageView.
 	Stages []StageFactory
+	// Seed, when non-nil, is a corpus the pipeline starts from — the
+	// restore half of checkpointing, typically collector.OpenSnapshot's
+	// result. The pipeline takes ownership (the store absorbs it before
+	// any event flows), so the merged corpus is the seed plus everything
+	// ingested, exactly as if the seed's observations had streamed first.
+	Seed *collector.Collector
+	// CheckpointPath, when non-empty, is the file the pipeline writes
+	// durable corpus snapshots to (atomically: temp file + rename), every
+	// CheckpointInterval. Restore-on-start is the caller's half: load the
+	// file with RestoreFile and pass the corpus as Seed.
+	CheckpointPath string
+	// CheckpointInterval is how often the pipeline checkpoints to
+	// CheckpointPath. 0 with a non-empty path means on-demand only
+	// (CheckpointFile / Checkpoint).
+	CheckpointInterval time.Duration
 }
 
 // DefaultConfig returns a replay-tuned configuration (blocking
@@ -89,6 +104,12 @@ func (c *Config) fillDefaults() error {
 	if c.ServerCap < 1 || c.ServerCap > collector.MaxServers {
 		return fmt.Errorf("ingest: ServerCap %d out of [1,%d]",
 			c.ServerCap, collector.MaxServers)
+	}
+	if c.CheckpointInterval < 0 {
+		return fmt.Errorf("ingest: CheckpointInterval %v negative", c.CheckpointInterval)
+	}
+	if c.CheckpointInterval > 0 && c.CheckpointPath == "" {
+		return fmt.Errorf("ingest: CheckpointInterval without CheckpointPath")
 	}
 	return nil
 }

@@ -28,19 +28,49 @@ func shardOf(a addr.Addr, shards int) int {
 	return int(a.Hash64() % uint64(shards))
 }
 
+// strictInt parses a decimal integer the way the codec writes one: an
+// optional leading '-', then digits, nothing else. strconv.ParseInt is
+// deliberately not used directly — it also accepts a leading '+' and an
+// explicit "-0", neither of which AppendText ever emits, and a wire
+// codec that accepts what it never writes invites silent producer
+// drift (found by FuzzParseEvent's round-trip property).
+func strictInt(s string, bitSize int) (int64, error) {
+	neg := strings.HasPrefix(s, "-")
+	digits := s
+	if neg {
+		digits = s[1:]
+	}
+	if digits == "" || strings.TrimLeft(digits, "0123456789") != "" {
+		return 0, fmt.Errorf("not a decimal integer")
+	}
+	v, err := strconv.ParseInt(s, 10, bitSize)
+	if err != nil {
+		return 0, err
+	}
+	// By value, not spelling: catches "-0", "-00", "-0000…" alike.
+	if neg && v == 0 {
+		return 0, fmt.Errorf("negative zero")
+	}
+	return v, nil
+}
+
 // ParseEvent decodes the pipeline's text framing, one event per line:
 //
 //	<unix-seconds> <ipv6-address> [<server-index>]
 //
 // A missing server index means no vantage attribution (-1). This is the
-// format `ingestd` accepts on files, stdin and UDP datagrams.
+// format `ingestd` accepts on files, stdin and UDP datagrams. The
+// parser is strict: exactly the bytes AppendText emits round-trip, and
+// every accepted line re-encodes to a line that parses to the same
+// event (FuzzParseEvent pins both directions, and that the parser never
+// panics on arbitrary input).
 func ParseEvent(line string) (Event, error) {
 	var ev Event
 	fields := strings.Fields(line)
 	if len(fields) < 2 || len(fields) > 3 {
 		return ev, fmt.Errorf("ingest: want 'ts addr [server]', got %q", line)
 	}
-	ts, err := strconv.ParseInt(fields[0], 10, 64)
+	ts, err := strictInt(fields[0], 64)
 	if err != nil {
 		return ev, fmt.Errorf("ingest: bad timestamp %q: %v", fields[0], err)
 	}
@@ -50,7 +80,7 @@ func ParseEvent(line string) (Event, error) {
 	}
 	server := int64(-1)
 	if len(fields) == 3 {
-		server, err = strconv.ParseInt(fields[2], 10, 32)
+		server, err = strictInt(fields[2], 32)
 		if err != nil {
 			return ev, fmt.Errorf("ingest: bad server %q: %v", fields[2], err)
 		}

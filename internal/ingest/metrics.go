@@ -14,8 +14,14 @@ type Metrics struct {
 	processed atomic.Uint64 // events folded into shard state
 	batches   atomic.Uint64 // batches handed to shard queues
 	snapshots atomic.Uint64 // shard snapshots merged into the store
-	start     time.Time
-	recent    rateWindow
+	// Durable-checkpoint telemetry (CheckpointFile and the periodic
+	// checkpoint ticker).
+	checkpoints         atomic.Uint64
+	checkpointErrors    atomic.Uint64
+	lastCheckpointUnix  atomic.Int64
+	lastCheckpointBytes atomic.Uint64
+	start               time.Time
+	recent              rateWindow
 }
 
 // MetricsSnapshot is a point-in-time reading, JSON-shaped for stat
@@ -37,6 +43,14 @@ type MetricsSnapshot struct {
 	// flat-slab layout; BytesPerAddr divides it by unique addresses.
 	CorpusBytes  uint64  `json:"corpus_bytes"`
 	BytesPerAddr float64 `json:"bytes_per_addr"`
+	// Checkpoints counts successful durable snapshots written;
+	// CheckpointErrors failed attempts (full disk, bad path). The Last*
+	// pair describes the newest good checkpoint — a serving daemon's
+	// "how much would a crash lose right now" gauge.
+	Checkpoints         uint64 `json:"checkpoints"`
+	CheckpointErrors    uint64 `json:"checkpoint_errors"`
+	LastCheckpointUnix  int64  `json:"last_checkpoint_unix,omitempty"`
+	LastCheckpointBytes uint64 `json:"last_checkpoint_bytes,omitempty"`
 }
 
 // rateWindow derives a recent-window rate from (time, counter) samples
@@ -115,15 +129,19 @@ func (p *Pipeline) Metrics() MetricsSnapshot {
 		bytesPerAddr = float64(corpusBytes) / float64(n)
 	}
 	return MetricsSnapshot{
-		Enqueued:           p.metrics.enqueued.Load(),
-		Dropped:            p.metrics.dropped.Load(),
-		Processed:          processed,
-		Batches:            p.metrics.batches.Load(),
-		Snapshots:          p.metrics.snapshots.Load(),
-		QueuedBatches:      depth,
-		EventsPerSec:       rate,
-		RecentEventsPerSec: recent,
-		CorpusBytes:        corpusBytes,
-		BytesPerAddr:       bytesPerAddr,
+		Enqueued:            p.metrics.enqueued.Load(),
+		Dropped:             p.metrics.dropped.Load(),
+		Processed:           processed,
+		Batches:             p.metrics.batches.Load(),
+		Snapshots:           p.metrics.snapshots.Load(),
+		QueuedBatches:       depth,
+		EventsPerSec:        rate,
+		RecentEventsPerSec:  recent,
+		CorpusBytes:         corpusBytes,
+		BytesPerAddr:        bytesPerAddr,
+		Checkpoints:         p.metrics.checkpoints.Load(),
+		CheckpointErrors:    p.metrics.checkpointErrors.Load(),
+		LastCheckpointUnix:  p.metrics.lastCheckpointUnix.Load(),
+		LastCheckpointBytes: p.metrics.lastCheckpointBytes.Load(),
 	}
 }

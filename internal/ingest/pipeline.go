@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -50,10 +51,14 @@ type shard struct {
 	stages []Stage
 }
 
-// shardSnapshot is the unit handed to the merger goroutine.
+// shardSnapshot is the unit handed to the merger goroutine. A non-nil
+// barrier (and nothing else) marks a merger fence: the merge channel is
+// FIFO and the merger is the only consumer, so the barrier closing
+// proves every snapshot enqueued before it has been folded in.
 type shardSnapshot struct {
-	col    *collector.Collector
-	stages []Stage
+	col     *collector.Collector
+	stages  []Stage
+	barrier chan struct{}
 }
 
 // New builds and starts a pipeline. The returned pipeline is running:
@@ -69,6 +74,13 @@ func New(cfg Config) (*Pipeline, error) {
 		stopTick: make(chan struct{}),
 	}
 	p.metrics.start = time.Now()
+	if cfg.Seed != nil {
+		// The restored corpus lands before any event flows; ApplyShard
+		// into the empty store is a wholesale adoption, not a merge.
+		p.store.ApplyShard(cfg.Seed)
+		cfg.Seed = nil
+		p.cfg.Seed = nil
+	}
 	p.batchPool.New = func() any {
 		return make([]Event, 0, cfg.BatchSize)
 	}
@@ -96,6 +108,10 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.SnapshotInterval > 0 {
 		p.tickerWG.Add(1)
 		go p.runTicker(cfg.SnapshotInterval)
+	}
+	if cfg.CheckpointInterval > 0 {
+		p.tickerWG.Add(1)
+		go p.runCheckpointTicker(cfg.CheckpointInterval)
 	}
 	return p, nil
 }
@@ -172,6 +188,10 @@ func (p *Pipeline) processBatch(s *shard, batch []Event) {
 func (p *Pipeline) runMerger() {
 	defer p.mergerWG.Done()
 	for snap := range p.merge {
+		if snap.barrier != nil {
+			close(snap.barrier)
+			continue
+		}
 		if snap.col != nil {
 			p.store.ApplyShard(snap.col)
 		}
@@ -214,6 +234,55 @@ func (p *Pipeline) SnapshotNow() {
 	for _, ack := range acks {
 		<-ack
 	}
+}
+
+// Quiesce is SnapshotNow plus a merger fence: on return, every event
+// Flushed before the call is not merely handed off but folded into the
+// Store and the merged stages. This is the read-your-writes barrier the
+// durable paths need — a checkpoint taken after Quiesce provably
+// contains everything flushed before it. Must not race with Close.
+func (p *Pipeline) Quiesce() {
+	p.SnapshotNow()
+	barrier := make(chan struct{})
+	p.merge <- shardSnapshot{barrier: barrier}
+	<-barrier
+}
+
+// runCheckpointTicker periodically persists the corpus to the
+// configured checkpoint path. Failures are counted in Metrics (a
+// daemon's stats endpoint is where a full disk shows up) and retried
+// next tick.
+func (p *Pipeline) runCheckpointTicker(every time.Duration) {
+	defer p.tickerWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if _, err := p.CheckpointFile(p.cfg.CheckpointPath); err != nil {
+				p.metrics.checkpointErrors.Add(1)
+			}
+		case <-p.stopTick:
+			return
+		}
+	}
+}
+
+// SeedStage folds a restored stage state into the pipeline-level merged
+// instance with the given name — the stage half of restore-on-start,
+// pairing with Config.Seed's corpus half. The pipeline takes ownership
+// of from. Call before events flow if byte-exact resume equivalence
+// matters (stage merges commute, so even that is ordering-insensitive).
+func (p *Pipeline) SeedStage(name string, from Stage) error {
+	p.stageMu.Lock()
+	defer p.stageMu.Unlock()
+	for _, st := range p.mergedStages {
+		if st.Name() == name {
+			st.Merge(from)
+			return nil
+		}
+	}
+	return fmt.Errorf("ingest: no stage named %q to seed", name)
 }
 
 // StageView runs fn over the pipeline-level merged enrichment stages,

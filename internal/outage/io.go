@@ -1,0 +1,149 @@
+package outage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"hitlist6/internal/asdb"
+)
+
+// The binary series codec serializes a Series for embedding in study
+// checkpoints (the durable half of the single-pass outage consumer).
+// Layout, all big-endian, trailing zeros of each AS's bins trimmed:
+//
+//	originUnix i64, binSec i64, bins u32, complete u32, nAS u32
+//	nAS × ( asn u32, n u32, n × count u32 )
+//
+// ASes are written in ascending ASN order so the encoding is
+// deterministic. Integrity (CRC, truncation) is the containing
+// stream's job; UnmarshalSeries still bounds-checks every count so
+// structurally damaged input errors instead of panicking or
+// over-allocating.
+
+// seriesWireMax caps the bin and AS counts a decoder will accept, and
+// seriesWireMaxCells their product: generous for any real deployment
+// (16M hourly bins is ~1900 years), small enough that a lying header
+// cannot trigger a huge allocation.
+const (
+	seriesWireMax      = 1 << 24
+	seriesWireMaxCells = 1 << 26
+)
+
+// MarshalBinary encodes the series.
+func (s *Series) MarshalBinary() ([]byte, error) {
+	if s.Bin <= 0 || s.Bin%time.Second != 0 {
+		return nil, fmt.Errorf("outage: marshal: bin %v not a positive whole-second width", s.Bin)
+	}
+	if s.Bins < 0 || s.Bins > seriesWireMax || s.Complete < 0 || len(s.ByAS) > seriesWireMax {
+		return nil, fmt.Errorf("outage: marshal: series shape out of range (%d bins, %d ASes)", s.Bins, len(s.ByAS))
+	}
+	asns := make([]asdb.ASN, 0, len(s.ByAS))
+	for asn := range s.ByAS {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+
+	out := make([]byte, 0, 28+len(asns)*8)
+	out = binary.BigEndian.AppendUint64(out, uint64(s.Origin.Unix()))
+	out = binary.BigEndian.AppendUint64(out, uint64(s.Bin/time.Second))
+	out = binary.BigEndian.AppendUint32(out, uint32(s.Bins))
+	out = binary.BigEndian.AppendUint32(out, uint32(s.Complete))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(asns)))
+	for _, asn := range asns {
+		bins := s.ByAS[asn]
+		n := len(bins)
+		for n > 0 && bins[n-1] == 0 {
+			n--
+		}
+		if n > seriesWireMax {
+			return nil, fmt.Errorf("outage: marshal: AS%d spans %d bins", asn, n)
+		}
+		out = binary.BigEndian.AppendUint32(out, uint32(asn))
+		out = binary.BigEndian.AppendUint32(out, uint32(n))
+		for _, v := range bins[:n] {
+			// uint64 comparison so the bound compiles (and holds) on
+			// 32-bit platforms, where MaxUint32 overflows int.
+			if v < 0 || uint64(v) > math.MaxUint32 {
+				return nil, fmt.Errorf("outage: marshal: AS%d bin count %d unencodable", asn, v)
+			}
+			out = binary.BigEndian.AppendUint32(out, uint32(v))
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalSeries decodes a MarshalBinary payload. Damaged input —
+// short buffers, lying counts, trailing garbage — yields an error,
+// never a panic.
+func UnmarshalSeries(data []byte) (*Series, error) {
+	take := func(n int) ([]byte, error) {
+		if len(data) < n {
+			return nil, fmt.Errorf("outage: series truncated (%d bytes short)", n-len(data))
+		}
+		b := data[:n]
+		data = data[n:]
+		return b, nil
+	}
+	hdr, err := take(28)
+	if err != nil {
+		return nil, err
+	}
+	// Bound the raw u32 counts before converting: on 32-bit platforms an
+	// unchecked int conversion could go negative and slip past the caps.
+	rawBins := binary.BigEndian.Uint32(hdr[16:])
+	rawComplete := binary.BigEndian.Uint32(hdr[20:])
+	if rawBins > seriesWireMax || rawComplete > seriesWireMax {
+		return nil, fmt.Errorf("outage: series declares %d bins (%d complete)", rawBins, rawComplete)
+	}
+	binSec := binary.BigEndian.Uint64(hdr[8:])
+	if binSec == 0 || binSec > uint64(math.MaxInt64/time.Second) {
+		return nil, fmt.Errorf("outage: series bin %ds invalid", binSec)
+	}
+	s := &Series{
+		Origin:   time.Unix(int64(binary.BigEndian.Uint64(hdr[0:])), 0).UTC(),
+		Bin:      time.Duration(binSec) * time.Second,
+		Bins:     int(rawBins),
+		Complete: int(rawComplete),
+	}
+	nAS := int(binary.BigEndian.Uint32(hdr[24:]))
+	if nAS > seriesWireMax {
+		return nil, fmt.Errorf("outage: series declares %d ASes", nAS)
+	}
+	// 64-bit product: on 32-bit platforms nAS*Bins as int could wrap
+	// past the cap and admit a huge allocation.
+	if nAS > 0 && uint64(nAS)*uint64(s.Bins) > seriesWireMaxCells {
+		return nil, fmt.Errorf("outage: series declares %d×%d cells", nAS, s.Bins)
+	}
+	s.ByAS = make(map[asdb.ASN][]int, nAS)
+	for i := 0; i < nAS; i++ {
+		ah, err := take(8)
+		if err != nil {
+			return nil, err
+		}
+		asn := asdb.ASN(binary.BigEndian.Uint32(ah[0:]))
+		rawN := binary.BigEndian.Uint32(ah[4:])
+		if uint64(rawN) > uint64(s.Bins) {
+			return nil, fmt.Errorf("outage: AS%d declares %d bins of %d", asn, rawN, s.Bins)
+		}
+		n := int(rawN)
+		if _, dup := s.ByAS[asn]; dup {
+			return nil, fmt.Errorf("outage: AS%d appears twice", asn)
+		}
+		payload, err := take(4 * n)
+		if err != nil {
+			return nil, err
+		}
+		bins := make([]int, s.Bins)
+		for k := 0; k < n; k++ {
+			bins[k] = int(binary.BigEndian.Uint32(payload[4*k:]))
+		}
+		s.ByAS[asn] = bins
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("outage: %d trailing bytes after series", len(data))
+	}
+	return s, nil
+}
