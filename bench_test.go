@@ -19,8 +19,12 @@ import (
 
 	"hitlist6/internal/addr"
 	"hitlist6/internal/analysis"
+	"hitlist6/internal/asdb"
+	"hitlist6/internal/collector"
+	"hitlist6/internal/geodb"
 	hitlistpkg "hitlist6/internal/hitlist"
 	"hitlist6/internal/ntp"
+	"hitlist6/internal/oui"
 	"hitlist6/internal/outage"
 	"hitlist6/internal/rdns"
 	"hitlist6/internal/scan"
@@ -678,4 +682,162 @@ func BenchmarkDatasetSerialization(b *testing.B) {
 	if s.NTP.Len() > 0 {
 		b.ReportMetric(float64(encoded)/float64(s.NTP.Len()), "bytes_per_addr")
 	}
+}
+
+// ---- Parallel analysis engine ----
+
+// benchEngine is the paper-shaped ~1M-address fixture for BenchmarkReport:
+// a synthetic corpus with the corpus's structural mix (random, low-byte,
+// EUI-64 and v4-embedded IIDs over a few hundred ASes, ~20% repeat
+// sightings) plus the four datasets the report reads. Built once; the
+// benchmark measures the read side only.
+var (
+	benchEngineOnce sync.Once
+	benchEngine     struct {
+		db    *asdb.DB
+		col   *collector.Collector
+		ntp   *hitlistpkg.Dataset
+		day   *hitlistpkg.Dataset
+		hl    *hitlistpkg.Dataset
+		caida *hitlistpkg.Dataset
+	}
+)
+
+func engineFixture(b *testing.B) {
+	b.Helper()
+	benchEngineOnce.Do(func() {
+		const nASes = 256
+		db := asdb.NewDB()
+		types := []asdb.ASType{asdb.TypeISP, asdb.TypePhoneProvider, asdb.TypeHosting,
+			asdb.TypeEducation, asdb.TypeEnterprise}
+		for i := 0; i < nASes; i++ {
+			p := addr.MustParsePrefix(fmt.Sprintf("2001:%x::/32", 0x1000+i))
+			if err := db.AddAS(asdb.AS{
+				ASN: asdb.ASN(1000 + i), Name: fmt.Sprintf("AS%d", 1000+i),
+				Country: "DE", Type: types[i%len(types)],
+				Prefixes: []addr.Prefix{p},
+			}); err != nil {
+				panic(err)
+			}
+		}
+		benchEngine.db = db
+
+		const nAddrs = 1_000_000
+		rng := rand.New(rand.NewSource(1))
+		col := collector.New()
+		base := time.Date(2022, 1, 25, 0, 0, 0, 0, time.UTC)
+		addrs := make([]addr.Addr, 0, nAddrs)
+		for i := 0; i < nAddrs; i++ {
+			as := rng.Intn(nASes)
+			hi := 0x2001_0000_0000_0000 | uint64(0x1000+as)<<32 | uint64(rng.Intn(4096))<<16
+			var lo uint64
+			switch r := rng.Intn(100); {
+			case r < 60: // fully random IIDs (the corpus's bulk)
+				lo = rng.Uint64()
+			case r < 75: // low-byte
+				lo = uint64(rng.Intn(256) + 1)
+			case r < 90: // low-4-byte randomization
+				lo = uint64(rng.Uint32())
+			case r < 97: // EUI-64
+				mac := uint64(rng.Intn(1 << 20))
+				lo = (mac&0xffffff)<<40 | 0xfffe<<24 | (mac >> 24 & 0xffffff) | 0x0200_0000_0000_0000
+			default: // v4-embedded
+				lo = 0xc0a8_0000 | uint64(rng.Intn(1<<16))
+			}
+			a := addr.FromParts(hi, lo)
+			addrs = append(addrs, a)
+			ts := base.Add(time.Duration(rng.Intn(200*24*3600)) * time.Second)
+			col.Observe(a, ts, rng.Intn(27))
+			if rng.Intn(5) == 0 { // repeat sighting: nonzero lifetime
+				col.Observe(a, ts.Add(time.Duration(rng.Intn(40*24*3600))*time.Second), rng.Intn(27))
+			}
+		}
+		benchEngine.col = col
+		benchEngine.ntp = hitlistpkg.FromCollector("NTP (bench)", col)
+
+		day := hitlistpkg.NewDataset("NTP day (bench)")
+		hl := hitlistpkg.NewDataset("Hitlist (bench)")
+		caida := hitlistpkg.NewDataset("CAIDA (bench)")
+		for i, a := range addrs {
+			if i%10 == 0 {
+				day.Add(a)
+			}
+			if i%5 == 0 {
+				hl.Add(a)
+			}
+			if i%20 == 0 {
+				caida.Add(a)
+			}
+		}
+		benchEngine.day = day
+		benchEngine.hl = hl
+		benchEngine.caida = caida
+	})
+}
+
+// BenchmarkReport measures report generation on the parallel fold
+// engine, serial baseline first.
+//
+// engine-1M is the acceptance benchmark: the full analysis suite —
+// sidecar builds, Table 1, Figures 1/2/4/5, strategy inference, EUI-64
+// tracking, HLL — over the paper-shaped ~1M-address fixture, at 1 vs 8
+// workers (compare ns/op between the workers=1 and workers=8 rows of
+// this bench file; single-core CI runners will show no wall-clock win,
+// the same caveat as BenchmarkPassiveCollectionSharded).
+//
+// full runs Study.Report() end to end on the shared simulated study:
+// the same worker sweep including the world-bound sections (backscan,
+// geolocation) the engine cannot parallelize away.
+func BenchmarkReport(b *testing.B) {
+	b.Run("engine-1M", func(b *testing.B) {
+		engineFixture(b)
+		geo := geodb.FromASDB(benchEngine.db)
+		reg := oui.NewRegistry(0)
+		for _, workers := range []int{1, 2, 8} {
+			b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					scNTP := analysis.BuildSidecar(benchEngine.ntp, benchEngine.db, workers)
+					scHL := analysis.BuildSidecar(benchEngine.hl, benchEngine.db, workers)
+					scCAIDA := analysis.BuildSidecar(benchEngine.caida, benchEngine.db, workers)
+					scDay := analysis.BuildSidecar(benchEngine.day, benchEngine.db, workers)
+					t1 := analysis.ComputeTable1Sidecar(scNTP, scHL, scCAIDA, workers)
+					f1 := analysis.ComputeFigure1Sidecar(scNTP, scHL, scCAIDA, workers)
+					f2a := analysis.ComputeFigure2aWorkers(benchEngine.col, workers)
+					f2b := analysis.ComputeFigure2bWorkers(benchEngine.col, workers)
+					f4a := analysis.TopASEntropySidecar(scNTP, benchEngine.db, 5, workers)
+					f4b := analysis.TopASEntropySidecar(scDay, benchEngine.db, 5, workers)
+					strat := analysis.InferStrategiesSidecar(scNTP, benchEngine.db, 6, workers)
+					f5 := analysis.ComputeFigure5Sidecar(scDay, scHL, workers)
+					share := analysis.ASTypeShareSidecar(scNTP, workers)
+					tr := tracking.AnalyzeWorkers(benchEngine.col, benchEngine.db, geo, reg, workers)
+					if t1.NTP.Addrs == 0 || f1.NTP.N() == 0 || f2a.ObservedOnce == 0 ||
+						len(f2b.ByClass) == 0 || len(f4a) == 0 || len(f4b) == 0 ||
+						len(strat) == 0 || f5.NTP.Total == 0 || len(share) == 0 ||
+						len(tr.MACs) == 0 {
+						b.Fatal("degenerate engine result")
+					}
+				}
+				b.ReportMetric(float64(benchEngine.ntp.Len()), "addrs")
+			})
+		}
+	})
+
+	b.Run("full", func(b *testing.B) {
+		s := sharedStudy(b)
+		for _, workers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+				s.Config.AnalysisWorkers = workers
+				defer func() { s.Config.AnalysisWorkers = 0 }()
+				var rep string
+				for i := 0; i < b.N; i++ {
+					var err error
+					rep, err = s.Report()
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(len(rep)), "report_bytes")
+			})
+		}
+	})
 }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: hitlist6
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkReport/engine-1M/workers=1         	       1	1298119250 ns/op	  524288 B/op	    1234 allocs/op	    999959 addrs
+BenchmarkReport/engine-1M/workers=8-16      	       1	 310000000 ns/op	  524290 B/op	    1250 allocs/op	    999959 addrs
+BenchmarkCollectorMemory/layout=flat-16     	       1	 500000000 ns/op	      58.2 live_B/addr	  97.1 B/op	       0 allocs/op
+PASS
+ok  	hitlist6	5.109s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b1, ok := rep.Benchmarks["BenchmarkReport/engine-1M/workers=1"]
+	if !ok {
+		t.Fatal("workers=1 row missing")
+	}
+	if b1.NsPerOp != 1298119250 || b1.AllocsPerOp != 1234 || b1.Metrics["addrs"] != 999959 {
+		t.Fatalf("workers=1 parsed wrong: %+v", b1)
+	}
+	// GOMAXPROCS suffix must strip from the -16 variants.
+	if _, ok := rep.Benchmarks["BenchmarkReport/engine-1M/workers=8"]; !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	cm := rep.Benchmarks["BenchmarkCollectorMemory/layout=flat"]
+	if cm.Metrics["live_B/addr"] != 58.2 {
+		t.Fatalf("live_B/addr = %v", cm.Metrics["live_B/addr"])
+	}
+	// Headline block.
+	if rep.Headline["report_engine_1m_serial_ns"] != 1298119250 {
+		t.Fatalf("headline serial ns wrong: %v", rep.Headline)
+	}
+	if rep.Headline["report_engine_1m_8w_ns"] != 310000000 {
+		t.Fatalf("headline 8w ns wrong: %v", rep.Headline)
+	}
+	if rep.Headline["corpus_live_b_per_addr"] != 58.2 {
+		t.Fatalf("headline b/addr wrong: %v", rep.Headline)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	prev, _ := Parse(strings.NewReader(sample))
+	faster := strings.ReplaceAll(sample, "1298119250", " 640000000")
+	cur, err := Parse(strings.NewReader(faster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	worst := Compare(&out, prev, cur)
+	if worst > 1.01 {
+		t.Fatalf("no regression expected, worst = %v", worst)
+	}
+	if !strings.Contains(out.String(), ">> improvement") {
+		t.Fatalf("improvement not flagged:\n%s", out.String())
+	}
+	// And a regression in the other direction.
+	var out2 strings.Builder
+	worst = Compare(&out2, cur, prev)
+	if worst < 1.5 {
+		t.Fatalf("regression not detected, worst = %v", worst)
+	}
+	if !strings.Contains(out2.String(), "<< regression?") {
+		t.Fatalf("regression not flagged:\n%s", out2.String())
+	}
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"hitlist6/internal/addr"
 	"hitlist6/internal/asdb"
+	"hitlist6/internal/fold"
 	"hitlist6/internal/hitlist"
 )
 
@@ -25,64 +26,108 @@ type v4Rule struct {
 // defaultV4Rule uses the paper's thresholds (>=100 instances, >=10%).
 var defaultV4Rule = v4Rule{MinInstances: 100, MinShare: 0.10}
 
-// CategorizeDataset computes the Figure 5 breakdown for a dataset. The
-// v4-mapped category applies the paper's AS-corroboration rule, scaled:
-// minInstances is lowered proportionally for small (simulated) datasets,
-// with a floor of 5, because the absolute threshold of 100 assumes a
-// billions-scale corpus.
-func CategorizeDataset(d *hitlist.Dataset, db *asdb.DB) *CategoryBreakdown {
+// scaledRule lowers the paper's absolute MinInstances threshold
+// proportionally for small (simulated) datasets, with a floor of 5,
+// because the threshold of 100 assumes a billions-scale corpus.
+func scaledRule(n int) v4Rule {
 	rule := defaultV4Rule
-	if d.Len() < 1_000_000 {
-		rule.MinInstances = d.Len() / 10_000
+	if n < 1_000_000 {
+		rule.MinInstances = n / 10_000
 		if rule.MinInstances < 5 {
 			rule.MinInstances = 5
 		}
 	}
-	return categorize(d, db, rule)
+	return rule
 }
 
-func categorize(d *hitlist.Dataset, db *asdb.DB, rule v4Rule) *CategoryBreakdown {
-	// Pass 1: count per-AS totals and per-AS v4-candidate counts. A
-	// candidate must decode to an IPv4 address under one of the three
-	// encodings; the AS-consistency requirement ("in the same AS as the
-	// IPv6 address they are embedded in") is modelled as the candidate
-	// decoding successfully for a routed address, since the simulator has
-	// no parallel IPv4 topology. The two-rule volume filter is what kills
+// CategorizeDataset computes the Figure 5 breakdown for a dataset.
+func CategorizeDataset(d *hitlist.Dataset, db *asdb.DB) *CategoryBreakdown {
+	return CategorizeSidecar(BuildSidecar(d, db, 1), 1)
+}
+
+// CategorizeSidecar computes the Figure 5 breakdown from a sidecar's
+// columns as two parallel folds.
+func CategorizeSidecar(sc *Sidecar, workers int) *CategoryBreakdown {
+	return categorizeSidecar(sc, scaledRule(sc.Len()), workers)
+}
+
+// v4Tally is the per-AS (total, candidate) pair of categorize's first
+// pass.
+type v4Tally struct{ total, cand int }
+
+func categorizeSidecar(sc *Sidecar, rule v4Rule, workers int) *CategoryBreakdown {
+	view := sc.D.View()
+
+	// Pass 1: per-AS totals and v4-candidate counts. A candidate must
+	// decode to an IPv4 address under one of the three encodings; the
+	// AS-consistency requirement ("in the same AS as the IPv6 address
+	// they are embedded in") is modelled as the candidate decoding
+	// successfully for a routed address, since the simulator has no
+	// parallel IPv4 topology. The two-rule volume filter is what kills
 	// random-IID false positives either way.
-	totalByAS := make(map[asdb.ASN]int)
-	candByAS := make(map[asdb.ASN]int)
-	d.Each(func(a addr.Addr) bool {
-		asn, ok := db.OriginASN(a)
-		if !ok {
-			return true
-		}
-		totalByAS[asn]++
-		if len(a.IID().V4AnyCandidate()) > 0 {
-			candByAS[asn]++
-		}
-		return true
-	})
+	byAS := fold.Map(sc.Len(), workers,
+		func(lo, hi int) map[asdb.ASN]v4Tally {
+			part := make(map[asdb.ASN]v4Tally)
+			for i := lo; i < hi; i++ {
+				if !sc.HasAS[i] {
+					continue
+				}
+				t := part[sc.ASN[i]]
+				t.total++
+				if sc.V4Cand[i] {
+					t.cand++
+				}
+				part[sc.ASN[i]] = t
+			}
+			return part
+		},
+		func(dst, src map[asdb.ASN]v4Tally) map[asdb.ASN]v4Tally {
+			for asn, t := range src {
+				d := dst[asn]
+				d.total += t.total
+				d.cand += t.cand
+				dst[asn] = d
+			}
+			return dst
+		})
 	accepted := make(map[asdb.ASN]bool)
-	for asn, n := range candByAS {
-		if n >= rule.MinInstances && float64(n) >= rule.MinShare*float64(totalByAS[asn]) {
+	for asn, t := range byAS {
+		if t.cand >= rule.MinInstances && float64(t.cand) >= rule.MinShare*float64(t.total) {
 			accepted[asn] = true
 		}
 	}
 
-	// Pass 2: categorize.
-	out := &CategoryBreakdown{}
-	d.Each(func(a addr.Addr) bool {
-		iid := a.IID()
-		confirmed := false
-		if len(iid.V4AnyCandidate()) > 0 {
-			if asn, ok := db.OriginASN(a); ok && accepted[asn] {
-				confirmed = true
+	// Pass 2: categorize. The unconfirmed category is precomputed in the
+	// sidecar; only the (rare) accepted v4 candidates re-categorize with
+	// the embedding confirmed.
+	out := fold.Map(sc.Len(), workers,
+		func(lo, hi int) *CategoryBreakdown {
+			part := &CategoryBreakdown{}
+			for i := lo; i < hi; i++ {
+				cat := sc.Cat[i]
+				if sc.V4Cand[i] && sc.HasAS[i] && accepted[sc.ASN[i]] {
+					cat = view[i].IID().Categorize(true)
+				}
+				part.Counts[cat]++
+				part.Total++
 			}
-		}
-		out.Counts[iid.Categorize(confirmed)]++
-		out.Total++
-		return true
-	})
+			return part
+		},
+		func(dst, src *CategoryBreakdown) *CategoryBreakdown {
+			if dst == nil {
+				return src
+			}
+			if src != nil {
+				for i, n := range src.Counts {
+					dst.Counts[i] += n
+				}
+				dst.Total += src.Total
+			}
+			return dst
+		})
+	if out == nil {
+		out = &CategoryBreakdown{}
+	}
 	if out.Total > 0 {
 		for i, n := range out.Counts {
 			out.Fractions[i] = float64(n) / float64(out.Total)
@@ -98,8 +143,18 @@ type Figure5 struct {
 
 // ComputeFigure5 builds Figure 5 from the two single-day datasets.
 func ComputeFigure5(ntpDay, hitlistDay *hitlist.Dataset, db *asdb.DB) *Figure5 {
-	return &Figure5{
-		NTP:     CategorizeDataset(ntpDay, db),
-		Hitlist: CategorizeDataset(hitlistDay, db),
-	}
+	return ComputeFigure5Sidecar(
+		BuildSidecar(ntpDay, db, 1),
+		BuildSidecar(hitlistDay, db, 1), 1)
+}
+
+// ComputeFigure5Sidecar builds Figure 5 from prebuilt sidecars, the two
+// breakdowns in parallel.
+func ComputeFigure5Sidecar(ntpDay, hitlistDay *Sidecar, workers int) *Figure5 {
+	f := &Figure5{}
+	fold.Each(workers,
+		func() { f.NTP = CategorizeSidecar(ntpDay, workers) },
+		func() { f.Hitlist = CategorizeSidecar(hitlistDay, workers) },
+	)
+	return f
 }

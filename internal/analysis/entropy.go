@@ -2,13 +2,21 @@
 // datasets and collectors: the Table 1 dataset comparison, the entropy
 // CDFs of Figures 1, 3 and 4, the lifetime distributions of Figure 2, and
 // the seven-category addressing breakdown of Figure 5.
+//
+// Every computation here is expressed as a fold — accumulate over a
+// contiguous range of a dataset's sorted slab (or a collector's record
+// slab), then merge partials in range order — so each runs shard-parallel
+// on the worker count the caller passes and produces bit-identical
+// results at every worker count (see internal/fold). The per-address
+// attributes feeding the folds come from a Sidecar, computed once per
+// dataset and shared by every figure.
 package analysis
 
 import (
 	"sort"
 
-	"hitlist6/internal/addr"
 	"hitlist6/internal/asdb"
+	"hitlist6/internal/fold"
 	"hitlist6/internal/hitlist"
 	"hitlist6/internal/stats"
 )
@@ -16,30 +24,44 @@ import (
 // EntropyDistribution builds the empirical distribution of normalized IID
 // Shannon entropy over a dataset (one curve of Figure 1).
 func EntropyDistribution(d *hitlist.Dataset) *stats.Distribution {
-	samples := make([]float64, 0, d.Len())
-	d.Each(func(a addr.Addr) bool {
-		samples = append(samples, a.IID().NormalizedEntropy())
-		return true
-	})
-	return stats.NewDistribution(samples)
+	view := d.View()
+	samples := make([]float64, len(view))
+	for i, a := range view {
+		samples[i] = a.IID().NormalizedEntropy()
+	}
+	return stats.TakeDistribution(samples)
+}
+
+// EntropyDist builds the dataset-level entropy distribution from the
+// sidecar's precomputed column.
+func (sc *Sidecar) EntropyDist() *stats.Distribution {
+	// The column stays alive for other consumers; copy before the
+	// in-place sort.
+	return stats.NewDistribution(sc.Entropy)
 }
 
 // EntropyDistributionOfIntersection builds the entropy distribution over
 // the addresses common to two datasets (Figure 1's "NTP ∩ Hitlist" and
-// "NTP ∩ CAIDA" curves).
+// "NTP ∩ CAIDA" curves): a linear merge of the two sorted slabs.
 func EntropyDistributionOfIntersection(a, b *hitlist.Dataset) *stats.Distribution {
-	small, large := a, b
-	if small.Len() > large.Len() {
-		small, large = large, small
-	}
+	av := a.View()
 	var samples []float64
-	small.Each(func(x addr.Addr) bool {
-		if large.Contains(x) {
-			samples = append(samples, x.IID().NormalizedEntropy())
-		}
+	hitlist.EachCommon(a, b, func(ai, _ int) bool {
+		samples = append(samples, av[ai].IID().NormalizedEntropy())
 		return true
 	})
-	return stats.NewDistribution(samples)
+	return stats.TakeDistribution(samples)
+}
+
+// intersectionEntropy is EntropyDistributionOfIntersection reading the
+// entropy from a's sidecar column instead of recomputing it.
+func intersectionEntropy(a, b *Sidecar) *stats.Distribution {
+	var samples []float64
+	hitlist.EachCommon(a.D, b.D, func(ai, _ int) bool {
+		samples = append(samples, a.Entropy[ai])
+		return true
+	})
+	return stats.TakeDistribution(samples)
 }
 
 // Figure1 bundles the five curves of Figure 1.
@@ -50,13 +72,24 @@ type Figure1 struct {
 
 // ComputeFigure1 builds every Figure 1 curve.
 func ComputeFigure1(ntp, hl, caida *hitlist.Dataset) *Figure1 {
-	return &Figure1{
-		NTP:         EntropyDistribution(ntp),
-		Hitlist:     EntropyDistribution(hl),
-		CAIDA:       EntropyDistribution(caida),
-		NTPxHitlist: EntropyDistributionOfIntersection(ntp, hl),
-		NTPxCAIDA:   EntropyDistributionOfIntersection(ntp, caida),
-	}
+	return ComputeFigure1Sidecar(
+		BuildSidecar(ntp, nil, 1),
+		BuildSidecar(hl, nil, 1),
+		BuildSidecar(caida, nil, 1), 1)
+}
+
+// ComputeFigure1Sidecar builds the Figure 1 curves from prebuilt
+// sidecars, the five curves in parallel.
+func ComputeFigure1Sidecar(ntp, hl, caida *Sidecar, workers int) *Figure1 {
+	f := &Figure1{}
+	fold.Each(workers,
+		func() { f.NTP = ntp.EntropyDist() },
+		func() { f.Hitlist = hl.EntropyDist() },
+		func() { f.CAIDA = caida.EntropyDist() },
+		func() { f.NTPxHitlist = intersectionEntropy(ntp, hl) },
+		func() { f.NTPxCAIDA = intersectionEntropy(ntp, caida) },
+	)
+	return f
 }
 
 // ASEntropy is one AS's entropy curve with its address count (Figure 4).
@@ -71,20 +104,20 @@ type ASEntropy struct {
 // distributions of the topN most-observed ASes, descending by address
 // count (Figures 4a and 4b).
 func TopASEntropy(d *hitlist.Dataset, db *asdb.DB, topN int) []ASEntropy {
-	samplesByAS := make(map[asdb.ASN][]float64)
-	d.Each(func(a addr.Addr) bool {
-		if asn, ok := db.OriginASN(a); ok {
-			samplesByAS[asn] = append(samplesByAS[asn], a.IID().NormalizedEntropy())
-		}
-		return true
-	})
-	out := make([]ASEntropy, 0, len(samplesByAS))
-	for asn, samples := range samplesByAS {
-		e := ASEntropy{ASN: asn, Count: len(samples)}
+	return TopASEntropySidecar(BuildSidecar(d, db, 1), db, topN, 1)
+}
+
+// TopASEntropySidecar is TopASEntropy over a prebuilt sidecar: the AS
+// grouping is shared (ByAS) and the per-AS distributions reuse the
+// entropy column, built in parallel across ASes.
+func TopASEntropySidecar(sc *Sidecar, db *asdb.DB, topN int, workers int) []ASEntropy {
+	byAS := sc.ByAS(workers)
+	out := make([]ASEntropy, 0, len(byAS))
+	for asn, idxs := range byAS {
+		e := ASEntropy{ASN: asn, Count: len(idxs)}
 		if as := db.Get(asn); as != nil {
 			e.Name = as.Name
 		}
-		e.Dist = stats.NewDistribution(samples)
 		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -96,27 +129,66 @@ func TopASEntropy(d *hitlist.Dataset, db *asdb.DB, topN int) []ASEntropy {
 	if topN > 0 && len(out) > topN {
 		out = out[:topN]
 	}
+	// A handful of heavy items, not many cheap ones: dispatch one task
+	// per AS (fold.Ranges' element grain would lump them onto one
+	// worker).
+	tasks := make([]func(), len(out))
+	for i := range out {
+		i := i
+		tasks[i] = func() {
+			idxs := byAS[out[i].ASN]
+			samples := make([]float64, len(idxs))
+			for j, ix := range idxs {
+				samples[j] = sc.Entropy[ix]
+			}
+			out[i].Dist = stats.TakeDistribution(samples)
+		}
+	}
+	fold.Each(workers, tasks...)
 	return out
 }
 
 // ASTypeShare tallies the fraction of a dataset's addresses per ASdb
 // type (§4.1's "Phone Provider" comparison).
 func ASTypeShare(d *hitlist.Dataset, db *asdb.DB) map[asdb.ASType]float64 {
-	counts := make(map[asdb.ASType]int)
-	total := 0
-	d.Each(func(a addr.Addr) bool {
-		if as := db.Lookup(a); as != nil {
-			counts[as.Type]++
-			total++
-		}
-		return true
-	})
-	out := make(map[asdb.ASType]float64, len(counts))
-	if total == 0 {
+	return ASTypeShareSidecar(BuildSidecar(d, db, 1), 1)
+}
+
+// asTypeCounts is the ASTypeShare fold accumulator.
+type asTypeCounts struct {
+	counts [asdb.NumASTypes]int
+	total  int
+}
+
+// ASTypeShareSidecar is ASTypeShare as a parallel fold over the sidecar's
+// type column.
+func ASTypeShareSidecar(sc *Sidecar, workers int) map[asdb.ASType]float64 {
+	acc := fold.Map(sc.Len(), workers,
+		func(lo, hi int) asTypeCounts {
+			var p asTypeCounts
+			for i := lo; i < hi; i++ {
+				if sc.HasAS[i] {
+					p.counts[sc.ASType[i]]++
+					p.total++
+				}
+			}
+			return p
+		},
+		func(dst, src asTypeCounts) asTypeCounts {
+			for i := range dst.counts {
+				dst.counts[i] += src.counts[i]
+			}
+			dst.total += src.total
+			return dst
+		})
+	out := make(map[asdb.ASType]float64)
+	if acc.total == 0 {
 		return out
 	}
-	for ty, n := range counts {
-		out[ty] = float64(n) / float64(total)
+	for ty, n := range acc.counts {
+		if n > 0 {
+			out[asdb.ASType(ty)] = float64(n) / float64(acc.total)
+		}
 	}
 	return out
 }

@@ -5,6 +5,7 @@ import (
 
 	"hitlist6/internal/addr"
 	"hitlist6/internal/collector"
+	"hitlist6/internal/fold"
 	"hitlist6/internal/stats"
 )
 
@@ -14,15 +15,24 @@ var LifetimeMarks = []time.Duration{
 	24 * time.Hour, 7 * 24 * time.Hour, 30 * 24 * time.Hour, 180 * 24 * time.Hour,
 }
 
+// appendFloats is the fold merge for sample gathering: concatenation in
+// range order reproduces the serial scan's sample sequence exactly.
+func appendFloats(dst, src []float64) []float64 { return append(dst, src...) }
+
 // AddressLifetimes builds the distribution of observed address lifetimes
-// in seconds (Figure 2a's CCDF input).
-func AddressLifetimes(c *collector.Collector) *stats.Distribution {
-	samples := make([]float64, 0, c.NumAddrs())
-	c.Addrs(func(_ addr.Addr, r collector.AddrRecord) bool {
-		samples = append(samples, r.Lifetime().Seconds())
-		return true
-	})
-	return stats.NewDistribution(samples)
+// in seconds (Figure 2a's CCDF input) as a parallel fold over the
+// collector's record slab.
+func AddressLifetimes(c *collector.Collector, workers int) *stats.Distribution {
+	samples := fold.Map(c.NumAddrs(), workers,
+		func(lo, hi int) []float64 {
+			part := make([]float64, 0, hi-lo)
+			c.AddrsRange(lo, hi, func(_ addr.Addr, r collector.AddrRecord) bool {
+				part = append(part, r.Lifetime().Seconds())
+				return true
+			})
+			return part
+		}, appendFloats)
+	return stats.TakeDistribution(samples)
 }
 
 // Figure2a is the CCDF of address lifetimes evaluated at the paper's
@@ -39,7 +49,12 @@ type Figure2a struct {
 
 // ComputeFigure2a evaluates Figure 2a from the collector.
 func ComputeFigure2a(c *collector.Collector) *Figure2a {
-	dist := AddressLifetimes(c)
+	return ComputeFigure2aWorkers(c, 1)
+}
+
+// ComputeFigure2aWorkers is ComputeFigure2a on the given worker count.
+func ComputeFigure2aWorkers(c *collector.Collector, workers int) *Figure2a {
+	dist := AddressLifetimes(c, workers)
 	marks := make([]float64, len(LifetimeMarks))
 	for i, m := range LifetimeMarks {
 		marks[i] = m.Seconds()
@@ -67,25 +82,56 @@ type Figure2b struct {
 	WeekOrLonger map[addr.EntropyClass]float64
 }
 
+// numEntropyClasses sizes the per-class fold accumulators (Low/Medium/
+// High).
+const numEntropyClasses = int(addr.HighEntropy) + 1
+
 // ComputeFigure2b evaluates Figure 2b from the collector.
 func ComputeFigure2b(c *collector.Collector) *Figure2b {
-	samples := map[addr.EntropyClass][]float64{}
-	c.IIDs(func(iid addr.IID, r collector.IIDView) bool {
-		cls := iid.EntropyClass()
-		samples[cls] = append(samples[cls], r.Lifetime().Seconds())
-		return true
-	})
+	return ComputeFigure2bWorkers(c, 1)
+}
+
+// ComputeFigure2bWorkers is ComputeFigure2b as a parallel fold over the
+// collector's IID table.
+func ComputeFigure2bWorkers(c *collector.Collector, workers int) *Figure2b {
+	samples := fold.Map(c.NumIIDSlots(), workers,
+		func(lo, hi int) *[numEntropyClasses][]float64 {
+			part := &[numEntropyClasses][]float64{}
+			c.IIDSlotsRange(lo, hi, func(iid addr.IID, r collector.IIDView) bool {
+				cls := iid.EntropyClass()
+				part[cls] = append(part[cls], r.Lifetime().Seconds())
+				return true
+			})
+			return part
+		},
+		func(dst, src *[numEntropyClasses][]float64) *[numEntropyClasses][]float64 {
+			if dst == nil {
+				return src
+			}
+			if src != nil {
+				for i := range dst {
+					dst[i] = append(dst[i], src[i]...)
+				}
+			}
+			return dst
+		})
 	f := &Figure2b{
 		ByClass:      make(map[addr.EntropyClass]*stats.Distribution),
 		ObservedOnce: make(map[addr.EntropyClass]float64),
 		WeekOrLonger: make(map[addr.EntropyClass]float64),
 	}
+	if samples == nil {
+		return f
+	}
 	week := (7*24*time.Hour - time.Second).Seconds()
 	for cls, s := range samples {
-		d := stats.NewDistribution(s)
-		f.ByClass[cls] = d
-		f.ObservedOnce[cls] = d.CDF(0)
-		f.WeekOrLonger[cls] = d.CCDF(week)
+		if len(s) == 0 {
+			continue
+		}
+		d := stats.TakeDistribution(s)
+		f.ByClass[addr.EntropyClass(cls)] = d
+		f.ObservedOnce[addr.EntropyClass(cls)] = d.CDF(0)
+		f.WeekOrLonger[addr.EntropyClass(cls)] = d.CCDF(week)
 	}
 	return f
 }

@@ -7,6 +7,7 @@ import (
 
 	"hitlist6/internal/addr"
 	"hitlist6/internal/asdb"
+	"hitlist6/internal/fold"
 	"hitlist6/internal/hitlist"
 	"hitlist6/internal/stats"
 )
@@ -43,20 +44,17 @@ const bimodalGap = 0.18
 
 // InferStrategies profiles the topN most-observed ASes of a dataset.
 func InferStrategies(d *hitlist.Dataset, db *asdb.DB, topN int) []StrategyProfile {
-	byAS := make(map[asdb.ASN][]addr.IID)
-	d.Each(func(a addr.Addr) bool {
-		if asn, ok := db.OriginASN(a); ok {
-			byAS[asn] = append(byAS[asn], a.IID())
-		}
-		return true
-	})
+	return InferStrategiesSidecar(BuildSidecar(d, db, 1), db, topN, 1)
+}
+
+// InferStrategiesSidecar is InferStrategies over a prebuilt sidecar: the
+// per-AS grouping is shared (ByAS), the entropy column replaces the
+// per-IID recomputation, and the per-AS profiles build in parallel.
+func InferStrategiesSidecar(sc *Sidecar, db *asdb.DB, topN int, workers int) []StrategyProfile {
+	byAS := sc.ByAS(workers)
 	profiles := make([]StrategyProfile, 0, len(byAS))
-	for asn, iids := range byAS {
-		p := profileAS(asn, iids)
-		if as := db.Get(asn); as != nil {
-			p.Name = as.Name
-		}
-		profiles = append(profiles, p)
+	for asn, idxs := range byAS {
+		profiles = append(profiles, StrategyProfile{ASN: asn, Count: len(idxs)})
 	}
 	sort.Slice(profiles, func(i, j int) bool {
 		if profiles[i].Count != profiles[j].Count {
@@ -67,17 +65,33 @@ func InferStrategies(d *hitlist.Dataset, db *asdb.DB, topN int) []StrategyProfil
 	if topN > 0 && len(profiles) > topN {
 		profiles = profiles[:topN]
 	}
+	view := sc.D.View()
+	// One task per AS: few heavy profiles, so per-item dispatch rather
+	// than grained ranges.
+	tasks := make([]func(), len(profiles))
+	for i := range profiles {
+		p := &profiles[i]
+		tasks[i] = func() {
+			profileAS(p, byAS[p.ASN], view, sc.Entropy)
+			if as := db.Get(p.ASN); as != nil {
+				p.Name = as.Name
+			}
+		}
+	}
+	fold.Each(workers, tasks...)
 	return profiles
 }
 
-func profileAS(asn asdb.ASN, iids []addr.IID) StrategyProfile {
-	p := StrategyProfile{ASN: asn, Count: len(iids)}
-	if len(iids) == 0 {
-		return p
+// profileAS fingerprints one AS's IID population. idxs are the AS's rows
+// in the dataset slab (canonical order); entropy is the sidecar column.
+func profileAS(p *StrategyProfile, idxs []int32, view []addr.Addr, entropy []float64) {
+	if len(idxs) == 0 {
+		return
 	}
-	entropies := make([]float64, 0, len(iids))
-	for _, iid := range iids {
-		e := iid.NormalizedEntropy()
+	entropies := make([]float64, 0, len(idxs))
+	for _, ix := range idxs {
+		iid := view[ix].IID()
+		e := entropy[ix]
 		entropies = append(entropies, e)
 		v := uint64(iid)
 		switch {
@@ -93,14 +107,13 @@ func profileAS(asn asdb.ASN, iids []addr.IID) StrategyProfile {
 			p.OtherShare++
 		}
 	}
-	n := float64(len(iids))
+	n := float64(len(idxs))
 	p.EUI64Share /= n
 	p.LowByteShare /= n
 	p.Low4RandShare /= n
 	p.FullRandShare /= n
 	p.OtherShare /= n
 	p.Bimodal, p.ModeLow, p.ModeHigh = detectBimodal(entropies)
-	return p
 }
 
 // detectBimodal runs a tiny 1-D 2-means clustering on the entropy values

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hitlist6/internal/asdb"
+	"hitlist6/internal/fold"
 	"hitlist6/internal/hitlist"
 	"hitlist6/internal/stats"
 )
@@ -16,11 +17,44 @@ type Table1 struct {
 
 // ComputeTable1 derives the dataset-comparison table.
 func ComputeTable1(ntp, hl, caida *hitlist.Dataset, db *asdb.DB) *Table1 {
-	return &Table1{
-		NTP:     hitlist.ComputeStats(ntp, db, nil),
-		Hitlist: hitlist.ComputeStats(hl, db, ntp),
-		CAIDA:   hitlist.ComputeStats(caida, db, ntp),
+	return ComputeTable1Sidecar(
+		BuildSidecar(ntp, db, 1),
+		BuildSidecar(hl, db, 1),
+		BuildSidecar(caida, db, 1), 1)
+}
+
+// ComputeTable1Sidecar derives Table 1 from prebuilt sidecars: the AS
+// column replaces the per-address trie walks, the /48 columns fall out
+// of linear passes over the sorted slabs, and the address intersections
+// are sorted merges. The three rows compute in parallel.
+func ComputeTable1Sidecar(ntp, hl, caida *Sidecar, workers int) *Table1 {
+	t := &Table1{}
+	fold.Each(workers,
+		func() { t.NTP = sidecarStats(ntp, nil, workers) },
+		func() { t.Hitlist = sidecarStats(hl, ntp, workers) },
+		func() { t.CAIDA = sidecarStats(caida, ntp, workers) },
+	)
+	return t
+}
+
+// sidecarStats computes one dataset's Table 1 row. reference may be nil.
+func sidecarStats(sc, reference *Sidecar, workers int) hitlist.Stats {
+	st := hitlist.Stats{Name: sc.D.Name, Addrs: sc.Len(), P48s: sc.D.CountP48s()}
+	asns := sc.ByAS(workers)
+	st.ASNs = len(asns)
+	if st.P48s > 0 {
+		st.AvgPer48 = float64(st.Addrs) / float64(st.P48s)
 	}
+	if reference != nil {
+		st.CommonAddrs = hitlist.IntersectionSize(sc.D, reference.D)
+		st.CommonP48s = hitlist.CommonP48s(sc.D, reference.D)
+		for asn := range reference.ByAS(workers) {
+			if _, ok := asns[asn]; ok {
+				st.CommonASNs++
+			}
+		}
+	}
+	return st
 }
 
 // Render prints the table in the paper's layout.

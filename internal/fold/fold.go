@@ -1,0 +1,151 @@
+// Package fold is the tiny concurrency core of the parallel analysis
+// engine: deterministic fan-out/fan-in over index ranges.
+//
+// Every analysis in this repository is a fold — accumulate(chunk) over a
+// flat array (a dataset's sorted address slab, a collector's record
+// slabs) followed by merge(partials). Because each partial covers a
+// contiguous index range and merge consumes the partials in ascending
+// range order, the merged result sees elements in exactly the order a
+// serial scan would: any accumulator whose merge is concatenation-like
+// (sample slices, per-key groupings, counters) produces bit-identical
+// results at every worker count. Accumulators that are commutative
+// monoids (counts, maxima, register-wise HLL merges) do not even need
+// the ordering, but they get it for free.
+package fold
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a configured worker count: values <= 0 select
+// GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// grain is the smallest per-range work size worth a goroutine. Ranges
+// are cut no finer than this, so tiny inputs stay serial.
+const grain = 2048
+
+// ranges splits [0, n) into at most workers*4 contiguous ranges of at
+// least grain elements (the 4x oversplit smooths uneven per-element
+// cost, e.g. promoted IIDs with long span chains). It returns nil when
+// n <= 0.
+func ranges(n, workers int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	parts := workers * 4
+	if parts < 1 {
+		parts = 1
+	}
+	step := (n + parts - 1) / parts
+	if step < grain {
+		step = grain
+	}
+	out := make([][2]int, 0, (n+step-1)/step)
+	for lo := 0; lo < n; lo += step {
+		hi := lo + step
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// helperTokens caps the total number of helper goroutines across every
+// concurrently running fold at GOMAXPROCS. Folds nest — Report runs
+// sections concurrently and each section folds again — and without a
+// global cap the per-call worker counts would multiply (~workers^2
+// CPU-bound goroutines). Helpers are acquired non-blocking and the
+// calling goroutine always works inline, so a nested fold that finds
+// the machine saturated simply degrades to a serial scan: progress is
+// never gated on a token, which also makes starvation deadlocks
+// impossible. The cap is fixed at the GOMAXPROCS value of package init.
+var helperTokens = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// dispatch runs fn(i) for every i in [0, jobs) on up to workers
+// goroutines (the caller plus helpers) pulling from a shared cursor,
+// blocking until all jobs completed.
+func dispatch(jobs, workers int, fn func(i int)) {
+	if jobs <= 0 {
+		return
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	var cursor atomic.Int64
+	run := func() {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= jobs {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		select {
+		case helperTokens <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-helperTokens }()
+				run()
+			}()
+		default: // machine saturated: the inline worker covers it
+		}
+	}
+	run()
+	wg.Wait()
+}
+
+// Ranges runs fn over [0, n) split across workers, blocking until every
+// range completed. fn is called with disjoint [lo, hi) bounds and must
+// only write state owned by its range (e.g. disjoint column segments).
+// With workers <= 1 (or a small n) it degenerates to one serial call.
+func Ranges(n, workers int, fn func(lo, hi int)) {
+	workers = Workers(workers)
+	rs := ranges(n, workers)
+	dispatch(len(rs), workers, func(i int) { fn(rs[i][0], rs[i][1]) })
+}
+
+// Map computes one partial accumulator per range of [0, n) and merges
+// them in ascending range order: merge(merge(p0, p1), p2)... The
+// deterministic merge order is the engine's exactness contract — see the
+// package comment. The zero value of T must be a valid "empty" partial
+// for n == 0.
+func Map[T any](n, workers int, compute func(lo, hi int) T, merge func(dst, src T) T) T {
+	workers = Workers(workers)
+	rs := ranges(n, workers)
+	var zero T
+	switch len(rs) {
+	case 0:
+		return zero
+	case 1:
+		return compute(rs[0][0], rs[0][1])
+	}
+	parts := make([]T, len(rs))
+	dispatch(len(rs), workers, func(i int) {
+		parts[i] = compute(rs[i][0], rs[i][1])
+	})
+	acc := parts[0]
+	for _, p := range parts[1:] {
+		acc = merge(acc, p)
+	}
+	return acc
+}
+
+// Each runs each of the supplied tasks once, at most workers at a time,
+// blocking until all complete — the orchestration primitive for running
+// independent analyses (report sections, sidecar builds) concurrently.
+func Each(workers int, tasks ...func()) {
+	dispatch(len(tasks), Workers(workers), func(i int) { tasks[i]() })
+}

@@ -1,0 +1,92 @@
+package fold
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRangesCoverExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 5, grain - 1, grain, grain + 1, 10 * grain, 10*grain + 3} {
+		for _, workers := range []int{0, 1, 2, 7, 16} {
+			seen := make([]int32, n)
+			var calls atomic.Int32
+			Ranges(n, workers, func(lo, hi int) {
+				calls.Add(1)
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("n=%d workers=%d: bad range [%d,%d)", n, workers, lo, hi)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, c)
+				}
+			}
+			if n == 0 && calls.Load() != 0 {
+				t.Errorf("n=0 made %d calls", calls.Load())
+			}
+		}
+	}
+}
+
+// TestMapMergeOrder asserts the exactness contract: concatenation-merged
+// partials reproduce the serial element order at every worker count.
+func TestMapMergeOrder(t *testing.T) {
+	n := 5*grain + 17
+	for _, workers := range []int{1, 2, 3, 8, 16} {
+		got := Map(n, workers,
+			func(lo, hi int) []int {
+				part := make([]int, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					part = append(part, i)
+				}
+				return part
+			},
+			func(dst, src []int) []int { return append(dst, src...) })
+		if len(got) != n {
+			t.Fatalf("workers=%d: len = %d, want %d", workers, len(got), n)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: out of order at %d: %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got := Map(0, 8,
+		func(lo, hi int) int { t.Fatal("compute called for n=0"); return 0 },
+		func(dst, src int) int { return dst + src })
+	if got != 0 {
+		t.Fatalf("zero-value partial expected, got %d", got)
+	}
+}
+
+func TestEachRunsAll(t *testing.T) {
+	var ran [5]atomic.Bool
+	Each(2,
+		func() { ran[0].Store(true) },
+		func() { ran[1].Store(true) },
+		func() { ran[2].Store(true) },
+		func() { ran[3].Store(true) },
+		func() { ran[4].Store(true) },
+	)
+	for i := range ran {
+		if !ran[i].Load() {
+			t.Fatalf("task %d did not run", i)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Error("explicit count not honored")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Error("defaulted worker count must be >= 1")
+	}
+}

@@ -106,20 +106,28 @@ func BuildActiveHitlist(w *simnet.World, cfg ActiveConfig) (*ActiveResult, error
 	window := cfg.End.Sub(cfg.Start)
 	responsive := make(map[addr.Addr]struct{})
 
+	// Loop-invariant seeds, built once: public traceroute archives
+	// (routers) and systematic ::1 probing of routed /48s. The world's
+	// router set and routing table do not change across rounds, and at
+	// simulation scale re-deriving the /48 split every round dominated
+	// campaign setup. Time-dependent sources (PublicSeeds, the rDNS tree
+	// walk) stay inside the loop.
+	staticSeeds := append([]addr.Addr(nil), w.Routers()...)
+	for _, rp := range w.ASDB.RoutedPrefixes() {
+		for _, p48 := range split48s(rp.Prefix, 64) {
+			staticSeeds = append(staticSeeds, p48.Addr().WithIID(1))
+		}
+	}
+
 	for round := 0; round < cfg.Rounds; round++ {
 		at := cfg.Start.Add(window * time.Duration(round) / time.Duration(cfg.Rounds))
 
-		// Step 1: seeds — public traceroute archives (routers), systematic
-		// ::1 probing of routed /48s, and the DNS/public-list snapshot
-		// (servers, dynamic-DNS CPE). The last source is what gives the
-		// real Hitlist its CPE-and-server middle ground.
-		var seeds []addr.Addr
-		seeds = append(seeds, w.Routers()...)
-		for _, rp := range w.ASDB.RoutedPrefixes() {
-			for _, p48 := range split48s(rp.Prefix, 64) {
-				seeds = append(seeds, p48.Addr().WithIID(1))
-			}
-		}
+		// Step 1: seeds — the static sources above plus the DNS/
+		// public-list snapshot (servers, dynamic-DNS CPE). The last
+		// source is what gives the real Hitlist its CPE-and-server
+		// middle ground.
+		seeds := make([]addr.Addr, len(staticSeeds), len(staticSeeds)+256)
+		copy(seeds, staticSeeds)
 		seeds = append(seeds, w.PublicSeeds(at)...)
 		if cfg.UseRDNS {
 			// ip6.arpa tree walk over every routed prefix.

@@ -16,28 +16,43 @@ import (
 )
 
 // Dataset is a named set of IPv6 addresses with set algebra and the
-// aggregate statistics Table 1 reports. Iteration follows insertion
-// order: builders that insert canonically (FromCollector, sorted seed
-// lists) get run-to-run deterministic datasets for free, instead of
-// inheriting map iteration order.
+// aggregate statistics Table 1 reports.
+//
+// Storage is one canonical sorted flat []addr.Addr — 16 bytes per
+// address in a single slab instead of a GC-scanned map plus a duplicate
+// order slice. Membership is binary search, intersections are linear
+// merges of sorted arrays, and iteration follows canonical (ascending)
+// address order, which makes every consumer deterministic regardless of
+// how the dataset was built.
+//
+// Writes append; the slab is sort-deduplicated lazily on the first read
+// after a write ("seal"). Builders that insert in canonical order
+// (FromCollector, sorted serialized streams) keep the slab sorted as
+// they go and never pay the sort. A sealed dataset is safe for
+// concurrent reads; Add must not race with reads.
 type Dataset struct {
-	Name  string
-	addrs map[addr.Addr]struct{}
-	order []addr.Addr
+	Name   string
+	addrs  []addr.Addr
+	sealed bool // addrs is sorted and deduplicated
 }
 
 // NewDataset returns an empty dataset.
 func NewDataset(name string) *Dataset {
-	return &Dataset{Name: name, addrs: make(map[addr.Addr]struct{})}
+	return &Dataset{Name: name, sealed: true}
 }
 
-// Add inserts an address; duplicates keep their first position.
+// Add inserts an address; duplicates are coalesced at the next seal.
 func (d *Dataset) Add(a addr.Addr) {
-	if _, ok := d.addrs[a]; ok {
-		return
+	if n := len(d.addrs); d.sealed && n > 0 {
+		last := d.addrs[n-1]
+		if last == a {
+			return
+		}
+		if a.Less(last) {
+			d.sealed = false
+		}
 	}
-	d.addrs[a] = struct{}{}
-	d.order = append(d.order, a)
+	d.addrs = append(d.addrs, a)
 }
 
 // AddAll inserts every address of the slice.
@@ -47,42 +62,104 @@ func (d *Dataset) AddAll(as []addr.Addr) {
 	}
 }
 
-// Contains reports membership.
-func (d *Dataset) Contains(a addr.Addr) bool {
-	_, ok := d.addrs[a]
-	return ok
+// seal sorts and deduplicates the slab in place. Reads call it before
+// touching the array; it is a no-op on an already canonical dataset.
+func (d *Dataset) seal() {
+	if d.sealed {
+		return
+	}
+	sort.Slice(d.addrs, func(i, j int) bool { return d.addrs[i].Less(d.addrs[j]) })
+	out := d.addrs[:0]
+	for i, a := range d.addrs {
+		if i == 0 || a != out[len(out)-1] {
+			out = append(out, a)
+		}
+	}
+	d.addrs = out
+	d.sealed = true
 }
 
-// Len returns the number of addresses.
-func (d *Dataset) Len() int { return len(d.addrs) }
+// Contains reports membership by binary search.
+func (d *Dataset) Contains(a addr.Addr) bool {
+	d.seal()
+	i := sort.Search(len(d.addrs), func(i int) bool { return !d.addrs[i].Less(a) })
+	return i < len(d.addrs) && d.addrs[i] == a
+}
 
-// Each iterates the addresses in insertion order; returning false stops.
+// Len returns the number of (distinct) addresses.
+func (d *Dataset) Len() int {
+	d.seal()
+	return len(d.addrs)
+}
+
+// Each iterates the addresses in canonical (ascending) order; returning
+// false stops.
 func (d *Dataset) Each(fn func(a addr.Addr) bool) {
-	for _, a := range d.order {
+	d.seal()
+	for _, a := range d.addrs {
 		if !fn(a) {
 			return
 		}
 	}
 }
 
-// Addrs materializes the address set in insertion order.
-func (d *Dataset) Addrs() []addr.Addr {
-	return append([]addr.Addr(nil), d.order...)
+// View returns the dataset's backing slab in canonical order — the
+// zero-copy accessor the analysis engine's folds scan. The slice is
+// owned by the dataset: callers must treat it as read-only and must not
+// hold it across a later Add.
+func (d *Dataset) View() []addr.Addr {
+	d.seal()
+	return d.addrs
 }
 
-// IntersectionSize counts addresses present in both datasets.
+// Addrs materializes the address set in canonical order. The copy is the
+// caller's to mutate; hot paths should use View.
+func (d *Dataset) Addrs() []addr.Addr {
+	d.seal()
+	return append([]addr.Addr(nil), d.addrs...)
+}
+
+// IntersectionSize counts addresses present in both datasets by a linear
+// merge of the two sorted slabs — no hashing, no allocation.
 func IntersectionSize(a, b *Dataset) int {
-	small, large := a, b
-	if small.Len() > large.Len() {
-		small, large = large, small
-	}
+	av, bv := a.View(), b.View()
 	n := 0
-	for x := range small.addrs {
-		if large.Contains(x) {
+	for i, j := 0, 0; i < len(av) && j < len(bv); {
+		switch {
+		case av[i] == bv[j]:
 			n++
+			i++
+			j++
+		case av[i].Less(bv[j]):
+			i++
+		default:
+			j++
 		}
 	}
 	return n
+}
+
+// EachCommon visits every address present in both datasets, in canonical
+// order, by the same linear merge IntersectionSize runs; returning false
+// stops. The index arguments are the address's positions in a.View()
+// and b.View(), letting sidecar consumers read attribute columns without
+// re-deriving them.
+func EachCommon(a, b *Dataset, fn func(ai, bi int) bool) {
+	av, bv := a.View(), b.View()
+	for i, j := 0, 0; i < len(av) && j < len(bv); {
+		switch {
+		case av[i] == bv[j]:
+			if !fn(i, j) {
+				return
+			}
+			i++
+			j++
+		case av[i].Less(bv[j]):
+			i++
+		default:
+			j++
+		}
+	}
 }
 
 // Stats is one dataset's Table 1 row.
@@ -100,40 +177,71 @@ type Stats struct {
 	CommonP48s  int
 }
 
+// CountP48s returns the number of distinct /48 prefixes: a single linear
+// pass, since sorting by address also sorts (and groups) by /48.
+func (d *Dataset) CountP48s() int {
+	n := 0
+	var prev addr.Prefix48
+	for i, a := range d.View() {
+		if p := a.P48(); i == 0 || p != prev {
+			n++
+			prev = p
+		}
+	}
+	return n
+}
+
+// CommonP48s counts /48 prefixes present in both sorted datasets: a
+// linear merge over the (grouped) prefix sequences.
+func CommonP48s(a, b *Dataset) int {
+	av, bv := a.View(), b.View()
+	n := 0
+	i, j := 0, 0
+	for i < len(av) && j < len(bv) {
+		pa, pb := av[i].P48(), bv[j].P48()
+		switch {
+		case pa == pb:
+			n++
+			for i < len(av) && av[i].P48() == pa {
+				i++
+			}
+			for j < len(bv) && bv[j].P48() == pb {
+				j++
+			}
+		case pa < pb:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// asnSet collects the distinct origin ASNs of a dataset.
+func asnSet(d *Dataset, db *asdb.DB) map[asdb.ASN]struct{} {
+	out := make(map[asdb.ASN]struct{})
+	for _, a := range d.View() {
+		if asn, ok := db.OriginASN(a); ok {
+			out[asn] = struct{}{}
+		}
+	}
+	return out
+}
+
 // ComputeStats derives a dataset's aggregate row. reference may be nil.
 func ComputeStats(d *Dataset, db *asdb.DB, reference *Dataset) Stats {
-	st := Stats{Name: d.Name, Addrs: d.Len()}
-	asns := make(map[asdb.ASN]struct{})
-	p48s := make(map[addr.Prefix48]struct{})
-	for a := range d.addrs {
-		if asn, ok := db.OriginASN(a); ok {
-			asns[asn] = struct{}{}
-		}
-		p48s[a.P48()] = struct{}{}
-	}
+	st := Stats{Name: d.Name, Addrs: d.Len(), P48s: d.CountP48s()}
+	asns := asnSet(d, db)
 	st.ASNs = len(asns)
-	st.P48s = len(p48s)
 	if st.P48s > 0 {
 		st.AvgPer48 = float64(st.Addrs) / float64(st.P48s)
 	}
 	if reference != nil {
 		st.CommonAddrs = IntersectionSize(d, reference)
-		refASNs := make(map[asdb.ASN]struct{})
-		refP48s := make(map[addr.Prefix48]struct{})
-		for a := range reference.addrs {
-			if asn, ok := db.OriginASN(a); ok {
-				refASNs[asn] = struct{}{}
-			}
-			refP48s[a.P48()] = struct{}{}
-		}
-		for asn := range asns {
-			if _, ok := refASNs[asn]; ok {
+		st.CommonP48s = CommonP48s(d, reference)
+		for asn := range asnSet(reference, db) {
+			if _, ok := asns[asn]; ok {
 				st.CommonASNs++
-			}
-		}
-		for p := range p48s {
-			if _, ok := refP48s[p]; ok {
-				st.CommonP48s++
 			}
 		}
 	}
@@ -174,15 +282,18 @@ func (l *AliasList) Each(fn func(p addr.Prefix64) bool) {
 
 // Release renders the dataset truncated to /48 granularity, one prefix
 // per line, sorted — the paper's ethical release format ("we will only be
-// releasing our dataset at the /48 level").
+// releasing our dataset at the /48 level"). The distinct prefixes fall
+// out of one linear pass over the sorted slab; only the (much smaller)
+// rendered lines are sorted, because the release format orders its lines
+// lexicographically rather than numerically.
 func Release(d *Dataset) string {
-	seen := make(map[addr.Prefix48]struct{})
-	for a := range d.addrs {
-		seen[a.P48()] = struct{}{}
-	}
-	lines := make([]string, 0, len(seen))
-	for p := range seen {
-		lines = append(lines, p.String())
+	lines := make([]string, 0, 64)
+	var prev addr.Prefix48
+	for i, a := range d.View() {
+		if p := a.P48(); i == 0 || p != prev {
+			lines = append(lines, p.String())
+			prev = p
+		}
 	}
 	sort.Strings(lines)
 	var b strings.Builder

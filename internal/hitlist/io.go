@@ -51,8 +51,9 @@ func (d *Dataset) WriteTo(w io.Writer) (int64, error) {
 	if err != nil {
 		return written, err
 	}
-	addrs := d.Addrs()
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+	// The dataset's backing slab is already canonical (sorted,
+	// deduplicated) — exactly the order the delta encoding wants.
+	addrs := d.View()
 	if err := writeUvarint(uint64(len(addrs))); err != nil {
 		return written, err
 	}

@@ -93,8 +93,20 @@ type Distribution struct {
 
 // NewDistribution copies and sorts samples into a queryable Distribution.
 func NewDistribution(samples []float64) *Distribution {
-	d := &Distribution{sorted: make([]float64, len(samples))}
-	copy(d.sorted, samples)
+	cp := make([]float64, len(samples))
+	copy(cp, samples)
+	return TakeDistribution(cp)
+}
+
+// TakeDistribution builds a Distribution that takes ownership of samples,
+// sorting them in place with no copy — the allocation-free form for
+// callers that built the slice themselves (the analysis engine's fold
+// partials). The caller must not use samples afterwards. The result is
+// identical to NewDistribution over the same values: the sum accumulates
+// in sorted order either way, so even the floating-point rounding
+// matches.
+func TakeDistribution(samples []float64) *Distribution {
+	d := &Distribution{sorted: samples}
 	sort.Float64s(d.sorted)
 	for _, v := range d.sorted {
 		d.sum += v

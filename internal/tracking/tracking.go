@@ -14,6 +14,7 @@ import (
 	"hitlist6/internal/addr"
 	"hitlist6/internal/asdb"
 	"hitlist6/internal/collector"
+	"hitlist6/internal/fold"
 	"hitlist6/internal/geodb"
 	"hitlist6/internal/oui"
 	"hitlist6/internal/stats"
@@ -148,55 +149,98 @@ type Analysis struct {
 
 // Analyze runs the full EUI-64 privacy analysis over a collector.
 func Analyze(c *collector.Collector, db *asdb.DB, geo *geodb.DB, reg *oui.Registry) *Analysis {
+	return AnalyzeWorkers(c, db, geo, reg, 1)
+}
+
+// AnalyzeWorkers is Analyze as two parallel folds: the EUI-64 address
+// prevalence count over the address slab, and the per-MAC footprint
+// construction over the promoted IID slab. Per-MAC work (span copy, AS
+// and country attribution, classification) is independent, partials
+// merge by concatenation plus counter addition, and the final MAC sort
+// makes the result identical at every worker count.
+func AnalyzeWorkers(c *collector.Collector, db *asdb.DB, geo *geodb.DB, reg *oui.Registry, workers int) *Analysis {
 	a := &Analysis{VendorCounts: make(map[string]int)}
 
 	// Count unique EUI-64 *addresses* for the prevalence headline.
-	c.Addrs(func(ad addr.Addr, _ collector.AddrRecord) bool {
-		if ad.IID().IsEUI64() {
-			a.EUI64Addresses++
-		}
-		return true
-	})
+	a.EUI64Addresses = fold.Map(c.NumAddrs(), workers,
+		func(lo, hi int) int {
+			n := 0
+			c.AddrsRange(lo, hi, func(ad addr.Addr, _ collector.AddrRecord) bool {
+				if ad.IID().IsEUI64() {
+					n++
+				}
+				return true
+			})
+			return n
+		},
+		func(dst, src int) int { return dst + src })
 	a.ExpectedRandom = float64(c.NumAddrs()) / 65536
 
-	c.EUI64IIDs(func(iid addr.IID, r collector.IIDView) bool {
-		mac, err := addr.MACFromEUI64(iid)
-		if err != nil {
-			return true
-		}
-		info := &MACInfo{
-			MAC:       mac,
-			IID:       iid,
-			Vendor:    reg.LookupMAC(mac),
-			First:     r.First(),
-			Last:      r.Last(),
-			Count:     r.Count(),
-			Spans:     make([]P64Span, 0, r.NumP64s()),
-			ASNs:      make(map[asdb.ASN]struct{}),
-			Countries: make(map[string]struct{}),
-		}
-		r.P64s(func(p addr.Prefix64, sp collector.Span) bool {
-			info.Spans = append(info.Spans, P64Span{P64: p, First: sp.First, Last: sp.Last})
-			base := p.Addr()
-			if asn, ok := db.OriginASN(base); ok {
-				info.ASNs[asn] = struct{}{}
+	part := fold.Map(c.NumPromotedIIDs(), workers,
+		func(lo, hi int) *Analysis {
+			p := &Analysis{VendorCounts: make(map[string]int)}
+			c.EUI64IIDsRange(lo, hi, func(iid addr.IID, r collector.IIDView) bool {
+				mac, err := addr.MACFromEUI64(iid)
+				if err != nil {
+					return true
+				}
+				info := &MACInfo{
+					MAC:       mac,
+					IID:       iid,
+					Vendor:    reg.LookupMAC(mac),
+					First:     r.First(),
+					Last:      r.Last(),
+					Count:     r.Count(),
+					Spans:     make([]P64Span, 0, r.NumP64s()),
+					ASNs:      make(map[asdb.ASN]struct{}),
+					Countries: make(map[string]struct{}),
+				}
+				r.P64s(func(p addr.Prefix64, sp collector.Span) bool {
+					info.Spans = append(info.Spans, P64Span{P64: p, First: sp.First, Last: sp.Last})
+					base := p.Addr()
+					if asn, ok := db.OriginASN(base); ok {
+						info.ASNs[asn] = struct{}{}
+					}
+					if cc := geo.Country(base); cc != "" {
+						info.Countries[cc] = struct{}{}
+					}
+					return true
+				})
+				sort.Slice(info.Spans, func(i, j int) bool { return info.Spans[i].P64 < info.Spans[j].P64 })
+				info.Transitions = len(info.Spans) - 1
+				info.Class = Classify(len(info.ASNs), len(info.Countries), info.Transitions)
+				p.MACs = append(p.MACs, info)
+				p.VendorCounts[info.Vendor]++
+				if info.Class != NotTrackable {
+					p.Trackable++
+				}
+				p.ClassCounts[info.Class]++
+				return true
+			})
+			return p
+		},
+		func(dst, src *Analysis) *Analysis {
+			if dst == nil {
+				return src
 			}
-			if cc := geo.Country(base); cc != "" {
-				info.Countries[cc] = struct{}{}
+			if src != nil {
+				dst.MACs = append(dst.MACs, src.MACs...)
+				for v, n := range src.VendorCounts {
+					dst.VendorCounts[v] += n
+				}
+				dst.Trackable += src.Trackable
+				for i, n := range src.ClassCounts {
+					dst.ClassCounts[i] += n
+				}
 			}
-			return true
+			return dst
 		})
-		sort.Slice(info.Spans, func(i, j int) bool { return info.Spans[i].P64 < info.Spans[j].P64 })
-		info.Transitions = len(info.Spans) - 1
-		info.Class = Classify(len(info.ASNs), len(info.Countries), info.Transitions)
-		a.MACs = append(a.MACs, info)
-		a.VendorCounts[info.Vendor]++
-		if info.Class != NotTrackable {
-			a.Trackable++
-		}
-		a.ClassCounts[info.Class]++
-		return true
-	})
+	if part != nil {
+		a.MACs = part.MACs
+		a.VendorCounts = part.VendorCounts
+		a.Trackable = part.Trackable
+		a.ClassCounts = part.ClassCounts
+	}
 	sort.Slice(a.MACs, func(i, j int) bool {
 		return macLess(a.MACs[i].MAC, a.MACs[j].MAC)
 	})

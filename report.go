@@ -11,6 +11,7 @@ import (
 	"hitlist6/internal/asdb"
 	"hitlist6/internal/cardinality"
 	"hitlist6/internal/collector"
+	"hitlist6/internal/fold"
 	"hitlist6/internal/geodb"
 	"hitlist6/internal/oui"
 	"hitlist6/internal/scan"
@@ -21,171 +22,237 @@ import (
 // Report runs every experiment of the paper's evaluation and renders the
 // results as text, one section per table/figure. It is the programmatic
 // equivalent of reading the paper's §4 and §5 off this reproduction.
+//
+// The sections compute concurrently on Config.AnalysisWorkers workers:
+// one parallel phase builds the shared per-dataset attribute sidecars,
+// the tracking analysis and the backscan campaign, then every section
+// renders as an independent task over those shared inputs and the texts
+// join in fixed order. The output is byte-identical to the serial
+// single-worker rendering at every worker count (pinned by the golden
+// report test).
 func (s *Study) Report() (string, error) {
 	if err := s.requireDatasets(); err != nil {
 		return "", err
 	}
-	var b strings.Builder
-	sec := func(format string, args ...any) {
-		fmt.Fprintf(&b, "\n"+format+"\n", args...)
+	workers := s.analysisWorkers()
+	db := s.World.ASDB
+
+	// Phase 1: the shared inputs. Sidecars are immutable once built;
+	// building them here also seals every dataset before the sections
+	// start reading them concurrently.
+	var (
+		scNTP, scHL, scCAIDA, scDay *analysis.Sidecar
+		tr                          *tracking.Analysis
+		bs                          *scan.BackscanStats
+		bsErr                       error
+	)
+	fold.Each(workers,
+		func() { scNTP = analysis.BuildSidecar(s.NTP, db, workers) },
+		func() { scHL = analysis.BuildSidecar(s.Hitlist.Dataset, db, workers) },
+		func() { scCAIDA = analysis.BuildSidecar(s.CAIDA, db, workers) },
+		func() { scDay = analysis.BuildSidecar(s.NTPDay, db, workers) },
+		func() {
+			tr = tracking.AnalyzeWorkers(s.Collector, db, s.World.Geo, s.World.OUI, workers)
+		},
+		func() { bs, bsErr = s.Backscan() },
+	)
+	if bsErr != nil {
+		return "", bsErr
 	}
 
+	// Phase 2: the sections, in report order. Each renders its own text
+	// chunk; sec formats one "\n<body>\n" block exactly like the serial
+	// renderer did.
+	sec := func(format string, args ...any) string {
+		return fmt.Sprintf("\n"+format+"\n", args...)
+	}
+	var geoErr error
+	sections := []func() string{
+		func() string { return s.reportHeader(workers) }, // observations + HLL
+
+		func() string { // Table 1
+			return sec("%s", analysis.ComputeTable1Sidecar(scNTP, scHL, scCAIDA, workers).Render())
+		},
+
+		func() string { // §4.1 AS type shares
+			typeTable := stats.NewTable("", "Dataset", "Phone Provider", "ISP", "Hosting")
+			for _, row := range []struct {
+				name  string
+				share map[asdb.ASType]float64
+			}{
+				{"NTP", analysis.ASTypeShareSidecar(scNTP, workers)},
+				{"Hitlist", analysis.ASTypeShareSidecar(scHL, workers)},
+				{"CAIDA", analysis.ASTypeShareSidecar(scCAIDA, workers)},
+			} {
+				typeTable.AddRow(row.name,
+					stats.Pct(row.share[asdb.TypePhoneProvider], 1),
+					stats.Pct(row.share[asdb.TypeISP], 1),
+					stats.Pct(row.share[asdb.TypeHosting], 1))
+			}
+			return sec("AS-type composition (share of addresses; paper: NTP has ~14%% Phone Provider, Hitlist ~2%%)") +
+				sec("%s", typeTable.String())
+		},
+
+		func() string { // Figure 1
+			f1 := analysis.ComputeFigure1Sidecar(scNTP, scHL, scCAIDA, workers)
+			f1Table := stats.NewTable("", "Curve", "N", "Median entropy")
+			f1Table.AddRowf("NTP", f1.NTP.N(), f1.NTP.Median())
+			f1Table.AddRowf("IPv6 Hitlist", f1.Hitlist.N(), f1.Hitlist.Median())
+			f1Table.AddRowf("CAIDA", f1.CAIDA.N(), f1.CAIDA.Median())
+			f1Table.AddRowf("NTP ∩ Hitlist", f1.NTPxHitlist.N(), f1.NTPxHitlist.Median())
+			f1Table.AddRowf("NTP ∩ CAIDA", f1.NTPxCAIDA.N(), f1.NTPxCAIDA.Median())
+			return sec("Figure 1: normalized IID entropy medians (paper: NTP ~0.8, Hitlist ~0.7, CAIDA ~0)") +
+				sec("%s", f1Table.String()) +
+				sec("%s", stats.AsciiCDF("Figure 1 (CDF of IID entropy)", map[string][]stats.CDFPoint{
+					"NTP":     f1.NTP.CDFSeries(48),
+					"Hitlist": f1.Hitlist.CDFSeries(48),
+					"CAIDA":   f1.CAIDA.CDFSeries(48),
+				}, 48, 12))
+		},
+
+		func() string { // Figure 2a
+			f2a := analysis.ComputeFigure2aWorkers(s.Collector, workers)
+			f2aTable := stats.NewTable("", "Metric", "Fraction")
+			f2aTable.AddRow("observed once", stats.Pct(f2a.ObservedOnce, 1))
+			f2aTable.AddRow(">= 1 week", stats.Pct(f2a.WeekOrLonger, 2))
+			f2aTable.AddRow(">= 30 days", stats.Pct(f2a.MonthOrLonger, 2))
+			f2aTable.AddRow("> 180 days", stats.Pct(f2a.SixMonthsOrLonger, 3))
+			return sec("Figure 2a: address lifetimes (paper: >60%% observed once; 1.2%% ≥1w; 0.4%% ≥30d; 0.03%% >6mo)") +
+				sec("%s", f2aTable.String())
+		},
+
+		func() string { // Figure 2b
+			f2b := analysis.ComputeFigure2bWorkers(s.Collector, workers)
+			f2bTable := stats.NewTable("", "Entropy class", "IIDs", "Observed once", ">= 1 week")
+			for _, cls := range []addr.EntropyClass{addr.LowEntropy, addr.MediumEntropy, addr.HighEntropy} {
+				d := f2b.ByClass[cls]
+				if d == nil {
+					continue
+				}
+				f2bTable.AddRow(cls.String(), stats.Comma(int64(d.N())),
+					stats.Pct(f2b.ObservedOnce[cls], 1), stats.Pct(f2b.WeekOrLonger[cls], 1))
+			}
+			return sec("Figure 2b: IID lifetime by entropy class (paper: 10%% of low-entropy IIDs last ≥1 week vs ≤5%% of others)") +
+				sec("%s", f2bTable.String())
+		},
+
+		func() string { // §4.2 backscanning + Figure 3
+			return sec("%s", RenderBackscan(bs, s))
+		},
+
+		func() string { // Figure 4a
+			return sec("%s", renderFigure4("Figure 4a: top-5 AS entropy medians (full window)",
+				analysis.TopASEntropySidecar(scNTP, db, 5, workers)))
+		},
+
+		func() string { // Figure 4b
+			return sec("%s", renderFigure4("Figure 4b: top-5 AS entropy medians (1-day slice)",
+				analysis.TopASEntropySidecar(scDay, db, 5, workers)))
+		},
+
+		func() string { // §4.3 addressing strategies
+			return sec("%s", analysis.RenderStrategies(
+				analysis.InferStrategiesSidecar(scNTP, db, 6, workers)))
+		},
+
+		func() string { // Figure 5
+			f5 := analysis.ComputeFigure5Sidecar(scDay, scHL, workers)
+			f5Table := stats.NewTable("", "Category", "NTP", "IPv6 Hitlist")
+			for c := addr.Category(0); c < addr.NumCategories; c++ {
+				f5Table.AddRow(c.String(),
+					stats.Pct(f5.NTP.Fractions[c], 2), stats.Pct(f5.Hitlist.Fractions[c], 2))
+			}
+			return sec("Figure 5: addressing categories, 1-day slice (paper: NTP ~2/3 high entropy; Hitlist low-byte heavy)") +
+				sec("%s", f5Table.String())
+		},
+
+		func() string { // §5.1/5.2 tracking
+			return sec("%s", RenderTracking(tr, db))
+		},
+
+		func() string { // §5.3 geolocation (shares the tracking analysis)
+			geo, err := s.geolocationFrom(tr, 0)
+			if err != nil {
+				geoErr = err
+				return ""
+			}
+			return sec("%s", RenderGeolocation(geo))
+		},
+	}
+	texts := make([]string, len(sections))
+	tasks := make([]func(), len(sections))
+	for i := range sections {
+		i := i
+		tasks[i] = func() { texts[i] = sections[i]() }
+	}
+	fold.Each(workers, tasks...)
+	if geoErr != nil {
+		return "", geoErr
+	}
+	return strings.Join(texts, ""), nil
+}
+
+// reportHeader renders the report preamble: the run parameters, the
+// observation counts and the HyperLogLog estimate. At the paper's 7.9B
+// scale exact sets do not fit in memory; the constant-space estimator a
+// full deployment would use is shown next to the exact count this
+// simulation can afford. The sketch fills as a parallel fold — per-range
+// sketches merge by register-wise max, which is exactly what serial
+// insertion computes.
+func (s *Study) reportHeader(workers int) string {
+	var b strings.Builder
 	fmt.Fprintf(&b, "IPv6 Hitlists at Scale — reproduction report (seed=%d scale=%g days=%d)\n",
 		s.Config.Seed, s.Config.Scale, s.Config.Days)
 	fmt.Fprintf(&b, "Observations: %s queries, %s unique addresses, %s unique IIDs\n",
 		stats.Comma(int64(s.RunStats.Queries)),
 		stats.Comma(int64(s.Collector.NumAddrs())),
 		stats.Comma(int64(s.Collector.NumIIDs())))
-	// At the paper's 7.9B scale exact sets do not fit in memory; show the
-	// constant-space estimator a full deployment would use next to the
-	// exact count this simulation can afford.
-	if sketch, err := cardinality.NewHLL(14); err == nil {
-		s.Collector.Addrs(func(a addr.Addr, _ collector.AddrRecord) bool {
-			sketch.AddAddr(a)
-			return true
+	sketch := fold.Map(s.Collector.NumAddrs(), workers,
+		func(lo, hi int) *cardinality.HLL {
+			part, err := cardinality.NewHLL(14)
+			if err != nil {
+				return nil
+			}
+			s.Collector.AddrsRange(lo, hi, func(a addr.Addr, _ collector.AddrRecord) bool {
+				part.AddAddr(a)
+				return true
+			})
+			return part
+		},
+		func(dst, src *cardinality.HLL) *cardinality.HLL {
+			if dst == nil {
+				return src
+			}
+			if src != nil {
+				if err := dst.Merge(src); err != nil {
+					return dst
+				}
+			}
+			return dst
 		})
+	if sketch == nil {
+		// Empty corpus: the fold had nothing to fold; report the empty
+		// sketch exactly as a serial fill would.
+		sketch, _ = cardinality.NewHLL(14)
+	}
+	if sketch != nil {
 		fmt.Fprintf(&b, "HyperLogLog estimate: %s unique addresses from a %d-byte sketch (±%.1f%%)\n",
 			stats.Comma(int64(sketch.Estimate())), sketch.SizeBytes(),
 			100*sketch.RelativeError())
 	}
+	return b.String()
+}
 
-	// ---- Table 1 ----
-	t1, err := s.Table1()
-	if err != nil {
-		return "", err
+// renderFigure4 formats one Figure 4 table.
+func renderFigure4(title string, rows []analysis.ASEntropy) string {
+	tb := stats.NewTable(title, "AS", "Addresses", "Median entropy", "Frac > 0.75")
+	for _, r := range rows {
+		tb.AddRow(fmt.Sprintf("AS%d %s", r.ASN, r.Name),
+			stats.Comma(int64(r.Count)),
+			fmt.Sprintf("%.3f", r.Dist.Median()),
+			stats.Pct(r.Dist.CCDF(0.75), 1))
 	}
-	sec("%s", t1.Render())
-
-	// ---- §4.1 AS type shares ----
-	sec("AS-type composition (share of addresses; paper: NTP has ~14%% Phone Provider, Hitlist ~2%%)")
-	typeTable := stats.NewTable("", "Dataset", "Phone Provider", "ISP", "Hosting")
-	for _, row := range []struct {
-		name  string
-		share map[asdb.ASType]float64
-	}{
-		{"NTP", analysis.ASTypeShare(s.NTP, s.World.ASDB)},
-		{"Hitlist", analysis.ASTypeShare(s.Hitlist.Dataset, s.World.ASDB)},
-		{"CAIDA", analysis.ASTypeShare(s.CAIDA, s.World.ASDB)},
-	} {
-		typeTable.AddRow(row.name,
-			stats.Pct(row.share[asdb.TypePhoneProvider], 1),
-			stats.Pct(row.share[asdb.TypeISP], 1),
-			stats.Pct(row.share[asdb.TypeHosting], 1))
-	}
-	sec("%s", typeTable.String())
-
-	// ---- Figure 1 ----
-	f1, err := s.Figure1()
-	if err != nil {
-		return "", err
-	}
-	sec("Figure 1: normalized IID entropy medians (paper: NTP ~0.8, Hitlist ~0.7, CAIDA ~0)")
-	f1Table := stats.NewTable("", "Curve", "N", "Median entropy")
-	f1Table.AddRowf("NTP", f1.NTP.N(), f1.NTP.Median())
-	f1Table.AddRowf("IPv6 Hitlist", f1.Hitlist.N(), f1.Hitlist.Median())
-	f1Table.AddRowf("CAIDA", f1.CAIDA.N(), f1.CAIDA.Median())
-	f1Table.AddRowf("NTP ∩ Hitlist", f1.NTPxHitlist.N(), f1.NTPxHitlist.Median())
-	f1Table.AddRowf("NTP ∩ CAIDA", f1.NTPxCAIDA.N(), f1.NTPxCAIDA.Median())
-	sec("%s", f1Table.String())
-	sec("%s", stats.AsciiCDF("Figure 1 (CDF of IID entropy)", map[string][]stats.CDFPoint{
-		"NTP":     f1.NTP.CDFSeries(48),
-		"Hitlist": f1.Hitlist.CDFSeries(48),
-		"CAIDA":   f1.CAIDA.CDFSeries(48),
-	}, 48, 12))
-
-	// ---- Figure 2 ----
-	f2a, err := s.Figure2a()
-	if err != nil {
-		return "", err
-	}
-	sec("Figure 2a: address lifetimes (paper: >60%% observed once; 1.2%% ≥1w; 0.4%% ≥30d; 0.03%% >6mo)")
-	f2aTable := stats.NewTable("", "Metric", "Fraction")
-	f2aTable.AddRow("observed once", stats.Pct(f2a.ObservedOnce, 1))
-	f2aTable.AddRow(">= 1 week", stats.Pct(f2a.WeekOrLonger, 2))
-	f2aTable.AddRow(">= 30 days", stats.Pct(f2a.MonthOrLonger, 2))
-	f2aTable.AddRow("> 180 days", stats.Pct(f2a.SixMonthsOrLonger, 3))
-	sec("%s", f2aTable.String())
-
-	f2b, err := s.Figure2b()
-	if err != nil {
-		return "", err
-	}
-	sec("Figure 2b: IID lifetime by entropy class (paper: 10%% of low-entropy IIDs last ≥1 week vs ≤5%% of others)")
-	f2bTable := stats.NewTable("", "Entropy class", "IIDs", "Observed once", ">= 1 week")
-	for _, cls := range []addr.EntropyClass{addr.LowEntropy, addr.MediumEntropy, addr.HighEntropy} {
-		d := f2b.ByClass[cls]
-		if d == nil {
-			continue
-		}
-		f2bTable.AddRow(cls.String(), stats.Comma(int64(d.N())),
-			stats.Pct(f2b.ObservedOnce[cls], 1), stats.Pct(f2b.WeekOrLonger[cls], 1))
-	}
-	sec("%s", f2bTable.String())
-
-	// ---- §4.2 backscanning + Figure 3 ----
-	bs, err := s.Backscan()
-	if err != nil {
-		return "", err
-	}
-	sec("%s", RenderBackscan(bs, s))
-
-	// ---- Figures 4a / 4b ----
-	for _, fig := range []struct {
-		title string
-		fn    func(int) ([]analysis.ASEntropy, error)
-	}{
-		{"Figure 4a: top-5 AS entropy medians (full window)", s.Figure4a},
-		{"Figure 4b: top-5 AS entropy medians (1-day slice)", s.Figure4b},
-	} {
-		rows, err := fig.fn(5)
-		if err != nil {
-			return "", err
-		}
-		tb := stats.NewTable(fig.title, "AS", "Addresses", "Median entropy", "Frac > 0.75")
-		for _, r := range rows {
-			tb.AddRow(fmt.Sprintf("AS%d %s", r.ASN, r.Name),
-				stats.Comma(int64(r.Count)),
-				fmt.Sprintf("%.3f", r.Dist.Median()),
-				stats.Pct(r.Dist.CCDF(0.75), 1))
-		}
-		sec("%s", tb.String())
-	}
-
-	// ---- §4.3 addressing strategies ----
-	profiles, err := s.Strategies(6)
-	if err != nil {
-		return "", err
-	}
-	sec("%s", analysis.RenderStrategies(profiles))
-
-	// ---- Figure 5 ----
-	f5, err := s.Figure5()
-	if err != nil {
-		return "", err
-	}
-	sec("Figure 5: addressing categories, 1-day slice (paper: NTP ~2/3 high entropy; Hitlist low-byte heavy)")
-	f5Table := stats.NewTable("", "Category", "NTP", "IPv6 Hitlist")
-	for c := addr.Category(0); c < addr.NumCategories; c++ {
-		f5Table.AddRow(c.String(),
-			stats.Pct(f5.NTP.Fractions[c], 2), stats.Pct(f5.Hitlist.Fractions[c], 2))
-	}
-	sec("%s", f5Table.String())
-
-	// ---- §5.1/5.2 tracking ----
-	tr, err := s.Tracking()
-	if err != nil {
-		return "", err
-	}
-	sec("%s", RenderTracking(tr, s.World.ASDB))
-
-	// ---- §5.3 geolocation ----
-	geo, err := s.Geolocation(0)
-	if err != nil {
-		return "", err
-	}
-	sec("%s", RenderGeolocation(geo))
-
-	return b.String(), nil
+	return tb.String()
 }
 
 // RenderBackscan formats the §4.2 campaign results with Figure 3's

@@ -1,0 +1,65 @@
+package hitlist6
+
+import (
+	"os"
+	"testing"
+)
+
+// TestReportGoldenAndWorkerEquivalence pins the parallel analysis
+// engine's two exactness contracts at once:
+//
+//  1. Report() is byte-identical to the pre-engine serial implementation
+//     (testdata/golden_report_seed1.txt was rendered by the map-based
+//     Dataset + serial analysis code on the same configuration), and
+//  2. Report() is byte-identical across worker counts — the fold/merge
+//     decomposition introduces no ordering or floating-point drift.
+//
+// Run under -race (CI does) this also exercises the concurrent section
+// orchestration against the shared sidecars, world and collector.
+func TestReportGoldenAndWorkerEquivalence(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden_report_seed1.txt")
+	if err != nil {
+		t.Fatalf("reading golden report: %v", err)
+	}
+
+	// A fresh study per worker count: the NTP pool's round-robin vantage
+	// state advances on every backscan, so consecutive Report calls on
+	// one study legitimately see different campaigns (pre-existing
+	// behaviour). Worker equivalence is about the same inputs.
+	for _, workers := range []int{1, 4, 16} {
+		s := runStudy(t, 1) // testConfig(1) is the golden configuration
+		s.Config.AnalysisWorkers = workers
+		got, err := s.Report()
+		if err != nil {
+			t.Fatalf("Report(workers=%d): %v", workers, err)
+		}
+		if got != string(want) {
+			t.Errorf("Report(workers=%d) diverges from the serial golden report (%d vs %d bytes)",
+				workers, len(got), len(want))
+		}
+	}
+}
+
+// TestSummaryWorkerEquivalence runs the machine-readable summary across
+// worker counts: every headline number the paper quotes must be exactly
+// worker-independent, not just the rendered text.
+func TestSummaryWorkerEquivalence(t *testing.T) {
+	var base []byte
+	for _, workers := range []int{1, 4, 16} {
+		s := runStudy(t, 7) // fresh study per count; see the golden test
+		s.Config.AnalysisWorkers = workers
+		sm, err := s.Summarize()
+		if err != nil {
+			t.Fatalf("Summarize(workers=%d): %v", workers, err)
+		}
+		js, err := sm.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = js
+		} else if string(js) != string(base) {
+			t.Errorf("Summarize(workers=%d) diverges from workers=1", workers)
+		}
+	}
+}

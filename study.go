@@ -22,6 +22,7 @@ import (
 	"hitlist6/internal/addr"
 	"hitlist6/internal/analysis"
 	"hitlist6/internal/collector"
+	"hitlist6/internal/fold"
 	"hitlist6/internal/geoloc"
 	"hitlist6/internal/hitlist"
 	"hitlist6/internal/ingest"
@@ -76,6 +77,14 @@ type Config struct {
 	// CheckpointEvery is the checkpoint cadence in replay events. 0
 	// with a CheckpointPath means restore-only (no new checkpoints).
 	CheckpointEvery int
+	// AnalysisWorkers is the per-fold worker count of the parallel
+	// analysis engine: every figure, Table 1, the strategy inference,
+	// tracking and Report's section orchestration each fan out across
+	// this many workers, with the engine's total helper goroutines
+	// additionally capped near GOMAXPROCS so nested folds never
+	// multiply (see internal/fold). 0 selects GOMAXPROCS. Results are
+	// bit-identical for every worker count, so this only affects speed.
+	AnalysisWorkers int
 }
 
 // DefaultConfig returns the paper-shaped study at moderate scale.
@@ -142,6 +151,9 @@ func NewStudy(cfg Config) (*Study, error) {
 	}
 	if cfg.CheckpointEvery > 0 && cfg.CheckpointPath == "" {
 		return nil, fmt.Errorf("hitlist6: CheckpointEvery without CheckpointPath")
+	}
+	if cfg.AnalysisWorkers < 0 {
+		return nil, fmt.Errorf("hitlist6: AnalysisWorkers must be >= 0")
 	}
 	bin, err := normalizeOutageBin(cfg.OutageBin)
 	if err != nil {
@@ -307,12 +319,25 @@ func (s *Study) requireDatasets() error {
 	return nil
 }
 
+// analysisWorkers resolves Config.AnalysisWorkers (0 = GOMAXPROCS).
+func (s *Study) analysisWorkers() int {
+	return fold.Workers(s.Config.AnalysisWorkers)
+}
+
+// sidecar builds a dataset's attribute sidecar on the study's worker
+// count.
+func (s *Study) sidecar(d *hitlist.Dataset) *analysis.Sidecar {
+	return analysis.BuildSidecar(d, s.World.ASDB, s.analysisWorkers())
+}
+
 // Table1 computes the dataset comparison (paper Table 1).
 func (s *Study) Table1() (*analysis.Table1, error) {
 	if err := s.requireDatasets(); err != nil {
 		return nil, err
 	}
-	return analysis.ComputeTable1(s.NTP, s.Hitlist.Dataset, s.CAIDA, s.World.ASDB), nil
+	w := s.analysisWorkers()
+	return analysis.ComputeTable1Sidecar(
+		s.sidecar(s.NTP), s.sidecar(s.Hitlist.Dataset), s.sidecar(s.CAIDA), w), nil
 }
 
 // Figure1 computes the IID entropy CDFs of the three datasets and their
@@ -321,7 +346,11 @@ func (s *Study) Figure1() (*analysis.Figure1, error) {
 	if err := s.requireDatasets(); err != nil {
 		return nil, err
 	}
-	return analysis.ComputeFigure1(s.NTP, s.Hitlist.Dataset, s.CAIDA), nil
+	w := s.analysisWorkers()
+	return analysis.ComputeFigure1Sidecar(
+		analysis.BuildSidecar(s.NTP, nil, w),
+		analysis.BuildSidecar(s.Hitlist.Dataset, nil, w),
+		analysis.BuildSidecar(s.CAIDA, nil, w), w), nil
 }
 
 // Figure2a computes the address-lifetime CCDF.
@@ -329,7 +358,7 @@ func (s *Study) Figure2a() (*analysis.Figure2a, error) {
 	if s.Collector == nil {
 		return nil, fmt.Errorf("hitlist6: passive collection has not run")
 	}
-	return analysis.ComputeFigure2a(s.Collector), nil
+	return analysis.ComputeFigure2aWorkers(s.Collector, s.analysisWorkers()), nil
 }
 
 // Figure2b computes the IID-lifetime CDFs by entropy class.
@@ -337,7 +366,7 @@ func (s *Study) Figure2b() (*analysis.Figure2b, error) {
 	if s.Collector == nil {
 		return nil, fmt.Errorf("hitlist6: passive collection has not run")
 	}
-	return analysis.ComputeFigure2b(s.Collector), nil
+	return analysis.ComputeFigure2bWorkers(s.Collector, s.analysisWorkers()), nil
 }
 
 // Figure4a computes the per-AS entropy curves over the full window.
@@ -345,7 +374,8 @@ func (s *Study) Figure4a(topN int) ([]analysis.ASEntropy, error) {
 	if s.NTP == nil {
 		return nil, fmt.Errorf("hitlist6: passive collection has not run")
 	}
-	return analysis.TopASEntropy(s.NTP, s.World.ASDB, topN), nil
+	w := s.analysisWorkers()
+	return analysis.TopASEntropySidecar(s.sidecar(s.NTP), s.World.ASDB, topN, w), nil
 }
 
 // Figure4b computes the per-AS entropy curves for the single-day slice.
@@ -353,7 +383,8 @@ func (s *Study) Figure4b(topN int) ([]analysis.ASEntropy, error) {
 	if s.NTPDay == nil {
 		return nil, fmt.Errorf("hitlist6: passive collection has not run")
 	}
-	return analysis.TopASEntropy(s.NTPDay, s.World.ASDB, topN), nil
+	w := s.analysisWorkers()
+	return analysis.TopASEntropySidecar(s.sidecar(s.NTPDay), s.World.ASDB, topN, w), nil
 }
 
 // Strategies runs the §4.3 per-AS addressing-strategy inference over the
@@ -362,7 +393,8 @@ func (s *Study) Strategies(topN int) ([]analysis.StrategyProfile, error) {
 	if s.NTP == nil {
 		return nil, fmt.Errorf("hitlist6: passive collection has not run")
 	}
-	return analysis.InferStrategies(s.NTP, s.World.ASDB, topN), nil
+	w := s.analysisWorkers()
+	return analysis.InferStrategiesSidecar(s.sidecar(s.NTP), s.World.ASDB, topN, w), nil
 }
 
 // Figure5 computes the seven-category addressing breakdown of the NTP
@@ -371,7 +403,9 @@ func (s *Study) Figure5() (*analysis.Figure5, error) {
 	if err := s.requireDatasets(); err != nil {
 		return nil, err
 	}
-	return analysis.ComputeFigure5(s.NTPDay, s.Hitlist.Dataset, s.World.ASDB), nil
+	w := s.analysisWorkers()
+	return analysis.ComputeFigure5Sidecar(
+		s.sidecar(s.NTPDay), s.sidecar(s.Hitlist.Dataset), w), nil
 }
 
 // poolAdapter bridges the ntppool geo selector to scan.PoolSelector.
@@ -435,7 +469,8 @@ func (s *Study) Tracking() (*tracking.Analysis, error) {
 	if s.Collector == nil {
 		return nil, fmt.Errorf("hitlist6: passive collection has not run")
 	}
-	return tracking.Analyze(s.Collector, s.World.ASDB, s.World.Geo, s.World.OUI), nil
+	return tracking.AnalyzeWorkers(s.Collector, s.World.ASDB, s.World.Geo, s.World.OUI,
+		s.analysisWorkers()), nil
 }
 
 // GeolocationResult is the §5.3 outcome.
@@ -459,6 +494,13 @@ func (s *Study) Geolocation(minPairs int) (*GeolocationResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.geolocationFrom(tr, minPairs)
+}
+
+// geolocationFrom is Geolocation over an already computed tracking
+// analysis, so Report can share one analysis between the §5.2 and §5.3
+// sections instead of running it twice.
+func (s *Study) geolocationFrom(tr *tracking.Analysis, minPairs int) (*GeolocationResult, error) {
 	wired := make([]addr.MAC, 0, len(tr.MACs))
 	for _, m := range tr.MACs {
 		wired = append(wired, m.MAC)
