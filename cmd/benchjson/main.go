@@ -119,6 +119,10 @@ func headline(bs map[string]Benchmark) map[string]float64 {
 		h["report_engine_1m_allocs"] = b.AllocsPerOp
 	}
 	pick("corpus_live_b_per_addr", "BenchmarkCollectorMemory/layout=flat", "live_B/addr")
+	// Telemetry overhead proof: the off/on events-per-second pair. Their
+	// ratio is the observe-path cost the instrumentation budget caps at 2%.
+	pick("ingest_telemetry_off_eps", "BenchmarkTelemetryOverhead/telemetry=off", "events/sec")
+	pick("ingest_telemetry_on_eps", "BenchmarkTelemetryOverhead/telemetry=on", "events/sec")
 	if len(h) == 0 {
 		return nil
 	}

@@ -21,24 +21,43 @@
 //	ingestd -udp :9123                  # ingest datagrams of event lines
 //	ingestd -sim -sim.scale 0.1         # generate a simnet replay stream
 //
-// Then:
+// HTTP surface (default :8629):
 //
-//	curl http://localhost:8629/stats
-//	curl http://localhost:8629/outages
+//	/stats          live pipeline and corpus summary (JSON)
+//	/outages        latest outage-detector scan (JSON)
+//	/snapshot       POST: write a durable corpus checkpoint now
+//	/metrics        Prometheus text exposition of every registered series
+//	/healthz        liveness: 200 while the process runs
+//	/readyz         readiness: 200 once restore finished and the pipeline
+//	                accepts events; 503 while starting or shutting down
+//	/debug/events   bounded ring of recent operational events (JSON)
+//	/debug/pprof/   CPU, heap, goroutine and trace profiles
+//
+// Logs are structured (slog): -log.format selects text or json,
+// -log.level the threshold. Every log record is also captured in the
+// /debug/events ring. SIGINT/SIGTERM shut down gracefully: sources
+// stop, in-flight events drain, a final checkpoint is written when
+// -snapshot.dir is set, and the HTTP listener closes cleanly.
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"hitlist6/internal/addr"
@@ -48,11 +67,150 @@ import (
 	"hitlist6/internal/ntppool"
 	"hitlist6/internal/outage"
 	"hitlist6/internal/simnet"
+	"hitlist6/internal/telemetry"
 )
+
+// daemon ties the pipeline to its operational surface: the HTTP
+// handlers, the health gate, the structured log (mirrored into the
+// events ring) and the shutdown sequence. main builds exactly one;
+// tests build throwaway ones around in-memory pipelines.
+type daemon struct {
+	pipe   *ingest.Pipeline
+	reg    *telemetry.Registry
+	health *telemetry.Health
+	ring   *telemetry.EventRing
+	log    *slog.Logger
+
+	routes    *asdb.DB // nil: outage detection disabled
+	outWindow int
+	snapPath  string // "": durable snapshots disabled
+
+	badLines      atomic.Uint64
+	latestOutages atomic.Pointer[outagesReply]
+
+	// stopSource interrupts the active event source (close the UDP
+	// socket, close the replay file); nil when the source cannot be
+	// interrupted (sim replay, stdin). sourceDone closes when the source
+	// goroutine exits.
+	stopSource func()
+	sourceDone chan struct{}
+}
+
+// newMux wires the daemon's full HTTP surface (see the package comment
+// for the endpoint map).
+func (d *daemon) newMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", d.handleStats)
+	mux.HandleFunc("/outages", d.handleOutages)
+	mux.HandleFunc("/snapshot", d.handleSnapshot)
+	mux.Handle("/metrics", d.reg.Handler())
+	mux.Handle("/healthz", d.health.LivenessHandler())
+	mux.Handle("/readyz", d.health.ReadinessHandler())
+	mux.Handle("/debug/events", d.ring)
+	// net/http/pprof registers on DefaultServeMux at import; this mux is
+	// private, so route the profile handlers explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (d *daemon) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(buildStats(d.pipe)); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (d *daemon) handleOutages(w http.ResponseWriter, _ *http.Request) {
+	if d.routes == nil {
+		http.Error(w, "outage detection disabled (-outage.bin 0)", http.StatusNotFound)
+		return
+	}
+	reply := d.latestOutages.Load()
+	if reply == nil {
+		// Nothing detected yet (first tick pending): scan on demand so
+		// the endpoint is never stale-empty.
+		reply = detectOutages(d.pipe, d.outWindow)
+		d.latestOutages.Store(reply)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(reply); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (d *daemon) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if d.snapPath == "" {
+		http.Error(w, "snapshots disabled (no -snapshot.dir)", http.StatusNotFound)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST triggers a snapshot", http.StatusMethodNotAllowed)
+		return
+	}
+	start := time.Now()
+	size, err := d.pipe.CheckpointFile(d.snapPath)
+	if err != nil {
+		d.log.Error("snapshot failed", "path", d.snapPath, "error", err)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	d.log.Info("snapshot written", "path", d.snapPath, "bytes", size)
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(snapshotReply{
+		Path:   d.snapPath,
+		Bytes:  size,
+		Millis: time.Since(start).Milliseconds(),
+	}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// shutdown drains the daemon in dependency order: flip readiness off
+// (load balancers stop routing), stop the event source and wait for it
+// when it is interruptible, fence in-flight events with a quiesce,
+// write the final durable checkpoint — everything since the last
+// periodic tick would otherwise be lost to a clean exit — and close the
+// HTTP listener. srv may be nil (tests exercising the drain alone).
+func (d *daemon) shutdown(srv *http.Server) {
+	d.health.SetNotReady("shutting down")
+	if d.stopSource != nil {
+		d.stopSource()
+		select {
+		case <-d.sourceDone:
+		case <-time.After(10 * time.Second):
+			d.log.Warn("event source did not stop; checkpointing anyway")
+		}
+	}
+	d.pipe.Quiesce()
+	if d.snapPath != "" {
+		if size, err := d.pipe.CheckpointFile(d.snapPath); err != nil {
+			d.log.Error("final checkpoint failed", "path", d.snapPath, "error", err)
+		} else {
+			d.log.Info("final checkpoint", "path", d.snapPath, "bytes", size)
+		}
+	}
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			d.log.Warn("http shutdown", "error", err)
+		}
+	}
+	m := d.pipe.Metrics()
+	d.log.Info("ingestd exiting",
+		"processed", m.Processed, "dropped", m.Dropped,
+		"malformed", d.badLines.Load(),
+		"unique_addrs", d.pipe.Store().NumAddrs(),
+		"corpus_mb", fmt.Sprintf("%.1f", float64(m.CorpusBytes)/(1<<20)))
+}
 
 func main() {
 	var (
-		listen    = flag.String("listen", ":8629", "HTTP stats listen address")
+		listen    = flag.String("listen", ":8629", "HTTP listen address")
 		file      = flag.String("file", "", "event file to replay ('-' for stdin)")
 		udp       = flag.String("udp", "", "UDP listen address for event datagrams")
 		sim       = flag.Bool("sim", false, "generate a simnet replay stream instead of external input")
@@ -71,8 +229,20 @@ func main() {
 		outWindow = flag.Int("outage.window", 0, "rolling detection window in complete bins (0 = whole series)")
 		snapDir   = flag.String("snapshot.dir", "", "directory for durable corpus snapshots (restore on start, checkpoint while running)")
 		snapEvery = flag.Duration("snapshot.every", 0, "how often to checkpoint the corpus into -snapshot.dir (0 = only on /snapshot)")
+		logLevel  = flag.String("log.level", "info", "log threshold: debug, info, warn or error")
+		logFormat = flag.String("log.format", "text", "log encoding: text or json")
+		eventsCap = flag.Int("debug.events", telemetry.DefaultEventRingSize, "recent-events ring capacity for /debug/events")
 	)
 	flag.Parse()
+
+	ring := telemetry.NewEventRing(*eventsCap)
+	logger, err := telemetry.NewLogger(telemetry.LogOptions{
+		Level: *logLevel, Format: *logFormat, Ring: ring,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ingestd:", err)
+		os.Exit(2)
+	}
 
 	sources := 0
 	for _, on := range []bool{*file != "", *udp != "", *sim} {
@@ -97,6 +267,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ingestd: -outage.every %v must be positive\n", *outEvery)
 		os.Exit(2)
 	}
+	if *snapEvery < 0 {
+		fmt.Fprintf(os.Stderr, "ingestd: -snapshot.every %v must be non-negative\n", *snapEvery)
+		os.Exit(2)
+	}
+	if *snapEvery > 0 && *snapDir == "" {
+		fmt.Fprintln(os.Stderr, "ingestd: -snapshot.every needs -snapshot.dir")
+		os.Exit(2)
+	}
 
 	// The outage consumer needs a routing table to attribute events to
 	// ASes. BuildASDB yields the same table a full world build would
@@ -107,20 +285,16 @@ func main() {
 	if *outBin > 0 {
 		db, err := simnet.BuildASDB(simnet.DefaultConfig(*simSeed, 1))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ingestd: routing table:", err)
+			logger.Error("routing table", "error", err)
 			os.Exit(1)
 		}
 		routes = db
 	}
 
-	if *snapEvery < 0 {
-		fmt.Fprintf(os.Stderr, "ingestd: -snapshot.every %v must be non-negative\n", *snapEvery)
-		os.Exit(2)
-	}
-	if *snapEvery > 0 && *snapDir == "" {
-		fmt.Fprintln(os.Stderr, "ingestd: -snapshot.every needs -snapshot.dir")
-		os.Exit(2)
-	}
+	// The registry exists before the pipeline so startup work (the
+	// checkpoint restore) is already on the record when /metrics comes up.
+	reg := telemetry.NewRegistry()
+	health := telemetry.NewHealth()
 
 	cfg := ingest.Config{
 		Shards:           *shards,
@@ -129,6 +303,7 @@ func main() {
 		DropOnFull:       *drop,
 		SnapshotInterval: *snapshot,
 		ServerCap:        *serverCp,
+		Registry:         reg,
 		Stages: []ingest.StageFactory{
 			ingest.Categories(),
 			ingest.Cardinality(uint8(*hllPrec)),
@@ -137,13 +312,23 @@ func main() {
 	snapPath := ""
 	if *snapDir != "" {
 		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "ingestd: snapshot dir:", err)
+			logger.Error("snapshot dir", "error", err)
 			os.Exit(1)
 		}
 		snapPath = snapshotPath(*snapDir)
+		restoreSeconds := reg.Histogram("ingestd_restore_seconds",
+			"Wall time restoring the corpus checkpoint at startup.",
+			telemetry.DurationBuckets())
+		start := time.Now()
 		cfg.Seed = restoreOrEmpty(snapPath, func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
+			msg := fmt.Sprintf(format, args...)
+			if strings.Contains(msg, "WARNING") {
+				logger.Warn(msg)
+			} else {
+				logger.Info(msg)
+			}
 		})
+		restoreSeconds.ObserveDuration(time.Since(start))
 		cfg.CheckpointPath = snapPath
 		cfg.CheckpointInterval = *snapEvery
 	}
@@ -152,129 +337,95 @@ func main() {
 	}
 	pipe, err := ingest.New(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ingestd:", err)
+		logger.Error("pipeline", "error", err)
 		os.Exit(1)
 	}
 
-	var latestOutages atomic.Pointer[outagesReply]
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(buildStats(pipe)); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/outages", func(w http.ResponseWriter, _ *http.Request) {
-		if routes == nil {
-			http.Error(w, "outage detection disabled (-outage.bin 0)", http.StatusNotFound)
-			return
-		}
-		reply := latestOutages.Load()
-		if reply == nil {
-			// Nothing detected yet (first tick pending): scan on demand so
-			// the endpoint is never stale-empty.
-			reply = detectOutages(pipe, *outWindow)
-			latestOutages.Store(reply)
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(reply); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
-		if snapPath == "" {
-			http.Error(w, "snapshots disabled (no -snapshot.dir)", http.StatusNotFound)
-			return
-		}
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST triggers a snapshot", http.StatusMethodNotAllowed)
-			return
-		}
-		start := time.Now()
-		size, err := pipe.CheckpointFile(snapPath)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(snapshotReply{
-			Path:   snapPath,
-			Bytes:  size,
-			Millis: time.Since(start).Milliseconds(),
-		}); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
+	d := &daemon{
+		pipe: pipe, reg: reg, health: health, ring: ring, log: logger,
+		routes: routes, outWindow: *outWindow, snapPath: snapPath,
+	}
+	reg.GaugeFunc("ingestd_malformed_lines",
+		"Input lines that failed to parse since start.",
+		func() float64 { return float64(d.badLines.Load()) })
+
 	httpLn, err := net.Listen("tcp", *listen)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ingestd: listen:", err)
+		logger.Error("listen", "error", err)
 		os.Exit(1)
 	}
+	srv := &http.Server{Handler: d.newMux()}
 	go func() {
-		if err := http.Serve(httpLn, mux); err != nil {
-			fmt.Fprintln(os.Stderr, "ingestd: http:", err)
+		if err := srv.Serve(httpLn); err != nil && err != http.ErrServerClosed {
+			logger.Error("http", "error", err)
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "ingestd: %d shards, stats on http://%s/stats\n",
-		pipe.NumShards(), httpLn.Addr())
+	logger.Info("serving", "addr", httpLn.Addr().String(), "shards", pipe.NumShards())
 
 	if routes != nil {
 		go func() {
 			t := time.NewTicker(*outEvery)
 			defer t.Stop()
 			for range t.C {
-				latestOutages.Store(detectOutages(pipe, *outWindow))
+				d.latestOutages.Store(detectOutages(pipe, *outWindow))
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "ingestd: outage detector live (bin %v, rescan %v) on http://%s/outages\n",
-			*outBin, *outEvery, httpLn.Addr())
+		logger.Info("outage detector live", "bin", outBin.String(), "rescan", outEvery.String())
 	}
 
-	var badLines atomic.Uint64
 	switch {
 	case *file != "":
-		if err := ingestFile(pipe, *file, &badLines); err != nil {
-			fmt.Fprintln(os.Stderr, "ingestd:", err)
-			os.Exit(1)
+		in := os.Stdin
+		if *file != "-" {
+			f, err := os.Open(*file)
+			if err != nil {
+				logger.Error("open", "error", err)
+				os.Exit(1)
+			}
+			// Closing the file mid-replay errors the scanner: that is the
+			// interrupt path a graceful shutdown uses.
+			d.stopSource = func() { f.Close() }
+			in = f
 		}
-		fmt.Fprintf(os.Stderr, "ingestd: stream done (%d malformed lines); serving stats, ^C to exit\n", badLines.Load())
-	case *sim:
+		d.sourceDone = make(chan struct{})
 		go func() {
-			n := simReplay(pipe, *simSeed, *simScale, *simDays)
+			defer close(d.sourceDone)
+			if err := ingestStream(pipe, in, &d.badLines); err != nil {
+				logger.Error("file replay", "error", err)
+				return
+			}
+			logger.Info("stream done; still serving",
+				"malformed", d.badLines.Load())
+		}()
+	case *sim:
+		// The sim replay is not interruptible (no stopSource): shutdown
+		// quiesces and checkpoints around it without waiting.
+		go func() {
+			n := simReplay(pipe, logger, *simSeed, *simScale, *simDays)
 			pipe.SnapshotNow()
-			fmt.Fprintf(os.Stderr, "ingestd: sim replay done (%d events); serving stats, ^C to exit\n", n)
+			logger.Info("sim replay done; still serving", "events", n)
 		}()
 	case *udp != "":
 		conn, err := net.ListenPacket("udp", *udp)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ingestd: udp:", err)
+			logger.Error("udp listen", "error", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "ingestd: ingesting event datagrams on %s\n", conn.LocalAddr())
-		go ingestUDP(pipe, conn, &badLines)
+		logger.Info("ingesting event datagrams", "addr", conn.LocalAddr().String())
+		d.stopSource = func() { conn.Close() }
+		d.sourceDone = make(chan struct{})
+		go func() {
+			defer close(d.sourceDone)
+			ingestUDP(pipe, conn, &d.badLines, logger)
+		}()
 	}
+	health.SetReady()
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-
-	// Graceful exit writes a final checkpoint: everything ingested since
-	// the last periodic tick would otherwise be lost to a clean shutdown.
-	if snapPath != "" {
-		if size, err := pipe.CheckpointFile(snapPath); err != nil {
-			fmt.Fprintln(os.Stderr, "ingestd: final checkpoint:", err)
-		} else {
-			fmt.Fprintf(os.Stderr, "ingestd: final checkpoint: %d bytes to %s\n", size, snapPath)
-		}
-	}
-
-	m := pipe.Metrics()
-	fmt.Fprintf(os.Stderr, "\ningestd: %d processed, %d dropped, %d malformed; unique addrs %d; corpus %.1f MB (%.0f B/addr)\n",
-		m.Processed, m.Dropped, badLines.Load(), pipe.Store().NumAddrs(),
-		float64(m.CorpusBytes)/(1<<20), m.BytesPerAddr)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	logger.Info("shutting down", "signal", s.String())
+	d.shutdown(srv)
 }
 
 // snapshotPath is where the durable corpus lives inside -snapshot.dir.
@@ -405,16 +556,10 @@ func detectOutages(pipe *ingest.Pipeline, windowBins int) *outagesReply {
 	return reply
 }
 
-func ingestFile(pipe *ingest.Pipeline, path string, badLines *atomic.Uint64) error {
-	in := os.Stdin
-	if path != "-" {
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		in = f
-	}
+// ingestStream replays newline-framed event lines from in until EOF (or
+// a read error — which is also how a graceful shutdown interrupts a
+// file replay, by closing the underlying file).
+func ingestStream(pipe *ingest.Pipeline, in io.Reader, badLines *atomic.Uint64) error {
 	b := pipe.NewBatcher()
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<16), 1<<16)
@@ -459,30 +604,35 @@ func ingestDatagram(b *ingest.Batcher, buf []byte, badLines *atomic.Uint64) int 
 // simReplay builds a simulated world and streams its NTP queries
 // through the paper's pool selection into the pipeline, as a
 // self-contained demo and load generator.
-func simReplay(pipe *ingest.Pipeline, seed int64, scale float64, days int) uint64 {
+func simReplay(pipe *ingest.Pipeline, log *slog.Logger, seed int64, scale float64, days int) uint64 {
 	wcfg := simnet.DefaultConfig(seed, scale)
 	wcfg.Days = days
 	w, err := simnet.Build(wcfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ingestd: sim:", err)
+		log.Error("sim build", "error", err)
 		return 0
 	}
 	pool, err := ntppool.New(ntppool.StudyVantages())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ingestd: sim:", err)
+		log.Error("sim pool", "error", err)
 		return 0
 	}
 	stats := ntppool.RunIngest(w, pool, pipe)
 	return stats.Queries
 }
 
-func ingestUDP(pipe *ingest.Pipeline, conn net.PacketConn, badLines *atomic.Uint64) {
+// ingestUDP feeds datagrams into the pipeline until the socket closes
+// (a read error — the shutdown path closes the socket to get here).
+// The final flush makes the last partial batch durable before
+// sourceDone releases the shutdown sequence to checkpoint.
+func ingestUDP(pipe *ingest.Pipeline, conn net.PacketConn, badLines *atomic.Uint64, log *slog.Logger) {
 	b := pipe.NewBatcher()
+	defer b.Flush()
 	buf := make([]byte, 1<<16)
 	for {
 		n, _, err := conn.ReadFrom(buf)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ingestd: udp read:", err)
+			log.Info("udp source closed", "error", err)
 			return
 		}
 		ingestDatagram(b, buf[:n], badLines)

@@ -17,7 +17,29 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// TimingFunc observes one completed dispatch: how many jobs (ranges or
+// tasks) it fanned out and its wall time. Installed process-wide via
+// SetTiming; the default (none) costs one atomic pointer load per
+// dispatch — per fold, not per element, so the hook is free at any
+// observation rate that matters.
+type TimingFunc func(jobs int, wall time.Duration)
+
+var timingHook atomic.Pointer[TimingFunc]
+
+// SetTiming installs (or, with nil, removes) the process-wide dispatch
+// timing hook. Daemons and studies point it at a telemetry histogram
+// so every fold — figures, tracking, report sections — shows up as a
+// latency distribution on /metrics.
+func SetTiming(fn TimingFunc) {
+	if fn == nil {
+		timingHook.Store(nil)
+		return
+	}
+	timingHook.Store(&fn)
+}
 
 // Workers normalizes a configured worker count: values <= 0 select
 // GOMAXPROCS.
@@ -76,6 +98,10 @@ var helperTokens = make(chan struct{}, runtime.GOMAXPROCS(0))
 func dispatch(jobs, workers int, fn func(i int)) {
 	if jobs <= 0 {
 		return
+	}
+	if hook := timingHook.Load(); hook != nil {
+		start := time.Now()
+		defer func() { (*hook)(jobs, time.Since(start)) }()
 	}
 	if workers > jobs {
 		workers = jobs

@@ -1,8 +1,10 @@
 package fold
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestRangesCoverExactly(t *testing.T) {
@@ -88,5 +90,50 @@ func TestWorkers(t *testing.T) {
 	}
 	if Workers(0) < 1 || Workers(-1) < 1 {
 		t.Error("defaulted worker count must be >= 1")
+	}
+}
+
+// TestSetTiming pins the observability hook: an installed TimingFunc
+// sees every dispatch (with its job count and a sane wall time),
+// removing it stops the callbacks, and a nil hook never crashes a
+// fold.
+func TestSetTiming(t *testing.T) {
+	type obs struct {
+		jobs int
+		wall time.Duration
+	}
+	var mu sync.Mutex
+	var seen []obs
+	SetTiming(func(jobs int, wall time.Duration) {
+		mu.Lock()
+		seen = append(seen, obs{jobs, wall})
+		mu.Unlock()
+	})
+	defer SetTiming(nil)
+
+	n := 3 * grain
+	sum := Map(n, 2,
+		func(lo, hi int) int { return hi - lo },
+		func(dst, src int) int { return dst + src })
+	if sum != n {
+		t.Fatalf("Map sum = %d, want %d", sum, n)
+	}
+	mu.Lock()
+	got := len(seen)
+	mu.Unlock()
+	if got != 1 {
+		t.Fatalf("timing hook saw %d dispatches, want 1", got)
+	}
+	if seen[0].jobs < 1 || seen[0].wall < 0 {
+		t.Errorf("nonsense observation %+v", seen[0])
+	}
+
+	SetTiming(nil)
+	Ranges(n, 2, func(lo, hi int) {})
+	mu.Lock()
+	after := len(seen)
+	mu.Unlock()
+	if after != got {
+		t.Error("removed hook still observed a dispatch")
 	}
 }

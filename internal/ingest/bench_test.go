@@ -148,3 +148,42 @@ func feedConcurrently(p *Pipeline, events []Event, producers int) {
 	}
 	wg.Wait()
 }
+
+// BenchmarkTelemetryOverhead proves the per-shard/per-stage
+// instrumentation budget: the telemetry=off variant runs the identical
+// pipeline with the unexported noHotPathTelemetry knob set — the same
+// loop shape minus the clock reads and histogram observations — so the
+// events/sec delta between the two sub-benchmarks is exactly the
+// observe-path cost of telemetry. The stage-major batch loop amortizes
+// timing to two clock reads per stage per batch, which must keep the
+// regression under 2%.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	events := benchEvents(b)
+	for _, tc := range []struct {
+		name string
+		off  bool
+	}{
+		{"telemetry=off", true},
+		{"telemetry=on", false},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultConfig(4)
+				cfg.Stages = []StageFactory{Categories(), Cardinality(14)}
+				cfg.noHotPathTelemetry = tc.off
+				p, err := New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				feedConcurrently(p, events, 2)
+				merged := p.Close()
+				if merged.TotalObservations() != uint64(len(events)) {
+					b.Fatalf("lost events: %d != %d",
+						merged.TotalObservations(), len(events))
+				}
+			}
+			b.ReportMetric(float64(len(events))*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}

@@ -68,8 +68,12 @@ func AtomicWriteFile(path string, write func(w io.Writer) error) (int64, error) 
 }
 
 // CheckpointFile checkpoints to path atomically (see AtomicWriteFile)
-// and returns the snapshot's size in bytes.
+// and returns the snapshot's size in bytes. Successful checkpoints
+// feed the duration and bytes histograms — the distributions an
+// operator watches to size the checkpoint cadence against the write
+// stall it buys.
 func (p *Pipeline) CheckpointFile(path string) (int64, error) {
+	start := time.Now()
 	size, err := AtomicWriteFile(path, func(w io.Writer) error {
 		p.Quiesce()
 		return p.store.Snapshot(w)
@@ -78,8 +82,10 @@ func (p *Pipeline) CheckpointFile(path string) (int64, error) {
 		return 0, fmt.Errorf("ingest: checkpoint %s: %w", path, err)
 	}
 	p.metrics.checkpoints.Add(1)
-	p.metrics.lastCheckpointUnix.Store(time.Now().Unix())
-	p.metrics.lastCheckpointBytes.Store(uint64(size))
+	p.metrics.lastCheckpointUnix.Set(time.Now().Unix())
+	p.metrics.lastCheckpointBytes.Set(size)
+	p.tel.checkpointTime.ObserveDuration(time.Since(start))
+	p.tel.checkpointVolume.Observe(float64(size))
 	return size, nil
 }
 

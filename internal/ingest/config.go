@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"hitlist6/internal/collector"
+	"hitlist6/internal/telemetry"
 )
 
 // Config parameterizes a Pipeline.
@@ -68,6 +69,21 @@ type Config struct {
 	// CheckpointPath. 0 with a non-empty path means on-demand only
 	// (CheckpointFile / Checkpoint).
 	CheckpointInterval time.Duration
+	// Registry, when non-nil, is the telemetry registry the pipeline
+	// registers its metric families in — per-shard queue gauges, batch
+	// latency and size histograms, per-stage timings, checkpoint
+	// duration/bytes — so a daemon's /metrics endpoint exposes them.
+	// nil selects a private registry: the pipeline is always fully
+	// instrumented (Metrics() reads the same counters either way), the
+	// registry just isn't shared with anyone.
+	Registry *telemetry.Registry
+	// noHotPathTelemetry disables the per-batch timing instrumentation
+	// (time reads + histogram observations) while keeping the counter
+	// block. This is not a production switch — it exists so
+	// BenchmarkTelemetryOverhead can measure the uninstrumented observe
+	// loop as its baseline and prove the instrumented path stays within
+	// budget.
+	noHotPathTelemetry bool
 }
 
 // DefaultConfig returns a replay-tuned configuration (blocking

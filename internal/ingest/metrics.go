@@ -1,27 +1,115 @@
 package ingest
 
 import (
+	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"hitlist6/internal/telemetry"
 )
 
-// Metrics is the pipeline's atomic counter block, updated lock-free by
-// producers and shard workers and readable at any time.
+// Metrics is the pipeline's counter block, now a set of handles into a
+// telemetry.Registry: producers and shard workers update lock-free
+// atomics exactly as before, while the same state renders as
+// Prometheus series on /metrics and as the JSON MetricsSnapshot on
+// /stats — one source of truth, two views.
 type Metrics struct {
-	enqueued  atomic.Uint64 // events admitted into shard queues
-	dropped   atomic.Uint64 // events shed at admission (DropOnFull)
-	processed atomic.Uint64 // events folded into shard state
-	batches   atomic.Uint64 // batches handed to shard queues
-	snapshots atomic.Uint64 // shard snapshots merged into the store
+	enqueued  *telemetry.Counter // events admitted into shard queues
+	dropped   *telemetry.Counter // events shed at admission (DropOnFull)
+	processed *telemetry.Counter // events folded into shard state
+	batches   *telemetry.Counter // batches handed to shard queues
+	snapshots *telemetry.Counter // shard snapshots merged into the store
 	// Durable-checkpoint telemetry (CheckpointFile and the periodic
 	// checkpoint ticker).
-	checkpoints         atomic.Uint64
-	checkpointErrors    atomic.Uint64
-	lastCheckpointUnix  atomic.Int64
-	lastCheckpointBytes atomic.Uint64
+	checkpoints         *telemetry.Counter
+	checkpointErrors    *telemetry.Counter
+	lastCheckpointUnix  *telemetry.Gauge
+	lastCheckpointBytes *telemetry.Gauge
 	start               time.Time
 	recent              rateWindow
+}
+
+// pipelineTelemetry is the per-shard/per-stage instrumentation beyond
+// the counter block: latency and size distributions, queue gauges, and
+// the merger/checkpoint timings. The hot-path pieces are gated by
+// enabled so BenchmarkTelemetryOverhead can measure the uninstrumented
+// observe loop as its baseline; production pipelines always run
+// enabled.
+type pipelineTelemetry struct {
+	enabled bool
+	// Per shard, indexed by shard.idx.
+	batchSeconds   []*telemetry.Histogram // observe-loop wall time per batch
+	shardEvents    []*telemetry.Counter   // events folded, per shard
+	queueHighWater []*telemetry.Gauge     // deepest queue seen, in batches
+	// Per stage, in Config.Stages order.
+	stageSeconds []*telemetry.Histogram
+	// Global distributions.
+	batchEvents      *telemetry.Histogram // events per batch
+	mergeSeconds     *telemetry.Histogram // ApplyShard wall time in the merger
+	checkpointTime   *telemetry.Histogram // CheckpointFile wall time
+	checkpointVolume *telemetry.Histogram // CheckpointFile bytes written
+}
+
+// initTelemetry registers the pipeline's metric families in reg and
+// wires the counter block. Called once from New, after the store and
+// shards exist. Registration is idempotent per series (see
+// telemetry.Registry), so a daemon that rebuilds its pipeline keeps
+// accumulating into the same counters and its scrape-time gauges
+// re-bind to the live shards.
+func (p *Pipeline) initTelemetry(reg *telemetry.Registry) {
+	m := &p.metrics
+	m.enqueued = reg.Counter("ingest_events_enqueued_total", "Events admitted into shard queues.")
+	m.dropped = reg.Counter("ingest_events_dropped_total", "Events shed at admission (DropOnFull).")
+	m.processed = reg.Counter("ingest_events_processed_total", "Events folded into shard state.")
+	m.batches = reg.Counter("ingest_batches_total", "Batches handed to shard queues.")
+	m.snapshots = reg.Counter("ingest_snapshots_merged_total", "Shard snapshots merged into the store.")
+	m.checkpoints = reg.Counter("ingest_checkpoints_total", "Durable corpus checkpoints written.")
+	m.checkpointErrors = reg.Counter("ingest_checkpoint_errors_total", "Failed checkpoint attempts.")
+	m.lastCheckpointUnix = reg.Gauge("ingest_last_checkpoint_unix", "Unix time of the newest good checkpoint.")
+	m.lastCheckpointBytes = reg.Gauge("ingest_last_checkpoint_bytes", "Size of the newest good checkpoint.")
+
+	t := &p.tel
+	t.enabled = !p.cfg.noHotPathTelemetry
+	t.batchEvents = reg.Histogram("ingest_batch_events",
+		"Events per processed batch.", telemetry.CountBuckets())
+	t.mergeSeconds = reg.Histogram("ingest_merge_seconds",
+		"Wall time merging one shard snapshot into the store.", telemetry.DurationBuckets())
+	t.checkpointTime = reg.Histogram("ingest_checkpoint_seconds",
+		"Wall time writing one durable checkpoint (includes the quiesce).", telemetry.DurationBuckets())
+	t.checkpointVolume = reg.Histogram("ingest_checkpoint_written_bytes",
+		"Bytes written per durable checkpoint.", telemetry.SizeBuckets())
+
+	t.batchSeconds = make([]*telemetry.Histogram, len(p.shards))
+	t.shardEvents = make([]*telemetry.Counter, len(p.shards))
+	t.queueHighWater = make([]*telemetry.Gauge, len(p.shards))
+	for i, s := range p.shards {
+		shard := telemetry.L("shard", strconv.Itoa(i))
+		t.batchSeconds[i] = reg.Histogram("ingest_batch_seconds",
+			"Observe-loop wall time per batch (collector + stages).", telemetry.DurationBuckets(), shard)
+		t.shardEvents[i] = reg.Counter("ingest_shard_events_total",
+			"Events folded, per shard.", shard)
+		t.queueHighWater[i] = reg.Gauge("ingest_queue_high_water",
+			"Deepest queue depth seen, in batches, per shard.", shard)
+		in := s.in
+		reg.GaugeFunc("ingest_queue_depth",
+			"Current queue depth in batches, per shard.",
+			func() float64 { return float64(len(in)) }, shard)
+	}
+
+	t.stageSeconds = make([]*telemetry.Histogram, len(p.mergedStages))
+	for i, st := range p.mergedStages {
+		t.stageSeconds[i] = reg.Histogram("ingest_stage_seconds",
+			"Per-batch wall time of one enrichment stage.", telemetry.DurationBuckets(),
+			telemetry.L("stage", st.Name()))
+	}
+
+	store := p.store
+	reg.GaugeFunc("ingest_corpus_addresses",
+		"Unique addresses in the merged store.",
+		func() float64 { return float64(store.NumAddrs()) })
+	reg.GaugeFunc("ingest_corpus_bytes",
+		"Estimated resident bytes of the merged store.",
+		func() float64 { return float64(store.MemoryFootprint()) })
 }
 
 // MetricsSnapshot is a point-in-time reading, JSON-shaped for stat
@@ -111,7 +199,7 @@ func (p *Pipeline) Metrics() MetricsSnapshot {
 		depth += len(s.in)
 	}
 	now := time.Now()
-	processed := p.metrics.processed.Load()
+	processed := p.metrics.processed.Value()
 	elapsed := now.Sub(p.metrics.start).Seconds()
 	rate := 0.0
 	if elapsed > 0 {
@@ -129,19 +217,19 @@ func (p *Pipeline) Metrics() MetricsSnapshot {
 		bytesPerAddr = float64(corpusBytes) / float64(n)
 	}
 	return MetricsSnapshot{
-		Enqueued:            p.metrics.enqueued.Load(),
-		Dropped:             p.metrics.dropped.Load(),
+		Enqueued:            p.metrics.enqueued.Value(),
+		Dropped:             p.metrics.dropped.Value(),
 		Processed:           processed,
-		Batches:             p.metrics.batches.Load(),
-		Snapshots:           p.metrics.snapshots.Load(),
+		Batches:             p.metrics.batches.Value(),
+		Snapshots:           p.metrics.snapshots.Value(),
 		QueuedBatches:       depth,
 		EventsPerSec:        rate,
 		RecentEventsPerSec:  recent,
 		CorpusBytes:         corpusBytes,
 		BytesPerAddr:        bytesPerAddr,
-		Checkpoints:         p.metrics.checkpoints.Load(),
-		CheckpointErrors:    p.metrics.checkpointErrors.Load(),
-		LastCheckpointUnix:  p.metrics.lastCheckpointUnix.Load(),
-		LastCheckpointBytes: p.metrics.lastCheckpointBytes.Load(),
+		Checkpoints:         p.metrics.checkpoints.Value(),
+		CheckpointErrors:    p.metrics.checkpointErrors.Value(),
+		LastCheckpointUnix:  p.metrics.lastCheckpointUnix.Value(),
+		LastCheckpointBytes: uint64(p.metrics.lastCheckpointBytes.Value()),
 	}
 }

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -88,4 +89,80 @@ func TestMetricsCorpusTelemetry(t *testing.T) {
 		t.Errorf("RecentEventsPerSec %v", m.RecentEventsPerSec)
 	}
 	p.Close()
+}
+
+// TestRateWindowRecoversAfterRegression pins the restore-then-poll
+// sequence: a daemon that restarts from a checkpoint hands the window a
+// counter far below the pre-crash samples a stats poller recorded. The
+// regressing tick must yield no rate (not a huge negative or wrapped
+// one), and the very next monotonic tick must produce a sane rate again.
+func TestRateWindowRecoversAfterRegression(t *testing.T) {
+	var w rateWindow
+	t0 := time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)
+	w.tick(t0, 500_000)
+	if _, ok := w.tick(t0.Add(time.Second), 100); ok {
+		t.Fatal("regressed counter yielded a rate")
+	}
+	// Counting resumed: the oldest retained sample is still the
+	// pre-crash 500k, so rates stay suppressed...
+	if _, ok := w.tick(t0.Add(2*time.Second), 300); ok {
+		t.Error("rate against a pre-crash baseline sample")
+	}
+	// ...until the window prunes it, after which the post-restore
+	// samples alone define the rate.
+	rate, ok := w.tick(t0.Add(2*time.Second+rateWindowSpan), 400)
+	if !ok {
+		t.Fatal("window never recovered after a counter regression")
+	}
+	// Every pre-crash-era sample aged out except the newest two; the
+	// oldest retained is the post-restore (t0+2s, 300), so the rate is
+	// (400-300)/span — derived purely from post-restore counting.
+	want := 100 / rateWindowSpan.Seconds()
+	if rate != want {
+		t.Errorf("post-recovery rate %v, want %v", rate, want)
+	}
+}
+
+// TestRateWindowPathologicalPolling hammers the window far past
+// maxRateSamples with sub-window polling and checks the derived rate
+// stays exact: the buffer cap must shorten the window, never corrupt
+// the rate. One event per 10ms is 100/sec whatever suffix of samples
+// survives the cap.
+func TestRateWindowPathologicalPolling(t *testing.T) {
+	var w rateWindow
+	t0 := time.Date(2022, 7, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 4*maxRateSamples; i++ {
+		rate, ok := w.tick(t0.Add(time.Duration(i)*10*time.Millisecond), uint64(i))
+		if i == 0 {
+			continue
+		}
+		if !ok || math.Abs(rate-100) > 1e-6 {
+			t.Fatalf("tick %d: rate %v (ok=%v), want 100", i, rate, ok)
+		}
+		if len(w.samples) > maxRateSamples {
+			t.Fatalf("tick %d: buffer %d over cap %d", i, len(w.samples), maxRateSamples)
+		}
+	}
+}
+
+// TestMetricsSingleSampleFallback pins the first-poll behaviour at the
+// Metrics level: with only one window sample there is no recent
+// interval yet, so RecentEventsPerSec must fall back to the lifetime
+// average rather than reporting zero on a busy pipeline.
+func TestMetricsSingleSampleFallback(t *testing.T) {
+	p, err := New(DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Ingest(testEvents(t, 0.02, 4))
+	p.Quiesce() // fence: every enqueued event is folded before the poll
+	m := p.Metrics()
+	if m.EventsPerSec <= 0 {
+		t.Fatalf("lifetime rate %v after ingesting events", m.EventsPerSec)
+	}
+	if m.RecentEventsPerSec != m.EventsPerSec {
+		t.Errorf("first poll: recent %v != lifetime %v",
+			m.RecentEventsPerSec, m.EventsPerSec)
+	}
 }

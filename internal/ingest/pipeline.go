@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hitlist6/internal/collector"
+	"hitlist6/internal/telemetry"
 )
 
 // Pipeline is the sharded ingestion engine. Producers obtain Batchers
@@ -29,7 +30,9 @@ type Pipeline struct {
 	stageMu      sync.Mutex
 	mergedStages []Stage
 
-	metrics Metrics
+	metrics  Metrics
+	tel      pipelineTelemetry
+	registry *telemetry.Registry
 
 	workersWG sync.WaitGroup
 	mergerWG  sync.WaitGroup
@@ -43,8 +46,10 @@ type Pipeline struct {
 }
 
 // shard is one worker's private world: its inbound batch queue, a
-// snapshot doorbell, and the lock-free state it owns.
+// snapshot doorbell, and the lock-free state it owns. idx is the
+// shard's index, the label its telemetry series carry.
 type shard struct {
+	idx    int
 	in     chan []Event
 	snap   chan chan struct{}
 	col    *collector.Collector
@@ -91,6 +96,7 @@ func New(cfg Config) (*Pipeline, error) {
 	p.shards = make([]*shard, cfg.Shards)
 	for i := range p.shards {
 		s := &shard{
+			idx:  i,
 			in:   make(chan []Event, cfg.QueueDepth),
 			snap: make(chan chan struct{}, 1),
 			col:  collector.New(),
@@ -100,6 +106,13 @@ func New(cfg Config) (*Pipeline, error) {
 			s.stages[j] = f()
 		}
 		p.shards[i] = s
+	}
+	p.registry = cfg.Registry
+	if p.registry == nil {
+		p.registry = telemetry.NewRegistry()
+	}
+	p.initTelemetry(p.registry)
+	for _, s := range p.shards {
 		p.workersWG.Add(1)
 		go p.runShard(s)
 	}
@@ -119,6 +132,11 @@ func New(cfg Config) (*Pipeline, error) {
 // Store returns the live merged view. It is empty until the first
 // snapshot lands (SnapshotInterval, SnapshotNow, or Close).
 func (p *Pipeline) Store() *collector.Store { return p.store }
+
+// Registry returns the telemetry registry the pipeline's metrics live
+// in: Config.Registry when one was supplied, else the pipeline's
+// private registry.
+func (p *Pipeline) Registry() *telemetry.Registry { return p.registry }
 
 // NumShards returns the shard count in effect.
 func (p *Pipeline) NumShards() int { return len(p.shards) }
@@ -166,9 +184,23 @@ func (p *Pipeline) runShard(s *shard) {
 	}
 }
 
+// processBatch folds one batch into the shard's collector and stages.
+// The loop is structured stage-major (collector pass, then one pass
+// per stage) so each stage's wall time is measurable with two clock
+// reads per batch instead of two per event — the whole point of the
+// telemetry being affordable at line rate. Timing costs amortize over
+// BatchSize events; the timed and untimed paths share the same loop
+// shape so BenchmarkTelemetryOverhead isolates the instrumentation
+// cost alone.
 func (p *Pipeline) processBatch(s *shard, batch []Event) {
 	cap32 := int32(p.cfg.ServerCap)
-	for _, ev := range batch {
+	timed := p.tel.enabled
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
+	for i := range batch {
+		ev := &batch[i]
 		if ev.Server >= cap32 {
 			// Deployment-level saturation: attribute to the last
 			// distinct index the config allows (collector.ServerBit
@@ -176,11 +208,25 @@ func (p *Pipeline) processBatch(s *shard, batch []Event) {
 			ev.Server = cap32 - 1
 		}
 		s.col.ObserveUnix(ev.Addr, ev.Time, int(ev.Server))
-		for _, st := range s.stages {
+	}
+	for si, st := range s.stages {
+		var stageStart time.Time
+		if timed {
+			stageStart = time.Now()
+		}
+		for _, ev := range batch {
 			st.Process(ev)
+		}
+		if timed {
+			p.tel.stageSeconds[si].ObserveDuration(time.Since(stageStart))
 		}
 	}
 	p.metrics.processed.Add(uint64(len(batch)))
+	if timed {
+		p.tel.shardEvents[s.idx].Add(uint64(len(batch)))
+		p.tel.batchSeconds[s.idx].ObserveDuration(time.Since(start))
+		p.tel.batchEvents.Observe(float64(len(batch)))
+	}
 	p.batchPool.Put(batch[:0])
 }
 
@@ -193,7 +239,9 @@ func (p *Pipeline) runMerger() {
 			continue
 		}
 		if snap.col != nil {
+			mergeStart := time.Now()
 			p.store.ApplyShard(snap.col)
+			p.tel.mergeSeconds.ObserveDuration(time.Since(mergeStart))
 		}
 		if len(snap.stages) > 0 {
 			p.stageMu.Lock()
@@ -387,6 +435,12 @@ func (p *Pipeline) submit(sh int, batch []Event) {
 	}
 	p.metrics.enqueued.Add(uint64(len(batch)))
 	p.metrics.batches.Add(1)
+	if p.tel.enabled {
+		// The post-send depth is the backpressure high-water signal: a
+		// queue that keeps brushing QueueDepth is a pipeline one burst
+		// away from blocking (or shedding) producers.
+		p.tel.queueHighWater[sh].SetMax(int64(len(p.shards[sh].in)))
+	}
 }
 
 // Ingest feeds a whole slice through a throwaway Batcher: the

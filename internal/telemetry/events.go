@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Event is one entry in the recent-events ring: a timestamped,
+// leveled, structured record of something the process did — the
+// trace-what-just-happened view /debug/events serves.
+type Event struct {
+	Seq   uint64            `json:"seq"`
+	Time  time.Time         `json:"time"`
+	Level string            `json:"level"`
+	Msg   string            `json:"msg"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// EventRing is a bounded in-memory ring of recent Events. Writers
+// overwrite the oldest entry once full, so memory is fixed no matter
+// how long the daemon runs. It is not a hot-path structure — entries
+// are operational events (checkpoints, restores, source transitions,
+// outage rescans), not per-packet records — so a plain mutex is fine.
+type EventRing struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever recorded; buf[next%len] is the next slot
+}
+
+// DefaultEventRingSize is the ring capacity daemons use unless
+// configured otherwise.
+const DefaultEventRingSize = 256
+
+// NewEventRing returns a ring holding the last n events (n <= 0
+// selects DefaultEventRingSize).
+func NewEventRing(n int) *EventRing {
+	if n <= 0 {
+		n = DefaultEventRingSize
+	}
+	return &EventRing{buf: make([]Event, n)}
+}
+
+// Record appends one event. attrs may be nil.
+func (r *EventRing) Record(level, msg string, attrs map[string]string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next%uint64(len(r.buf))] = Event{
+		Seq:   r.next,
+		Time:  time.Now().UTC(),
+		Level: level,
+		Msg:   msg,
+		Attrs: attrs,
+	}
+	r.next++
+}
+
+// Events returns the retained events, oldest first.
+func (r *EventRing) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	count := r.next
+	if count > n {
+		count = n
+	}
+	out := make([]Event, 0, count)
+	for i := r.next - count; i < r.next; i++ {
+		out = append(out, r.buf[i%n])
+	}
+	return out
+}
+
+// eventsReply is the /debug/events JSON shape.
+type eventsReply struct {
+	Total  uint64  `json:"total"`
+	Events []Event `json:"events"`
+}
+
+// ServeHTTP renders the ring as JSON: the /debug/events endpoint.
+func (r *EventRing) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	r.mu.Lock()
+	total := r.next
+	r.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(eventsReply{Total: total, Events: r.Events()})
+}
+
+// ---- slog bridge ----
+
+// ringHandler tees every slog record into an EventRing before
+// delegating to the base handler, so structured log lines and
+// /debug/events stay one stream.
+type ringHandler struct {
+	base  slog.Handler
+	ring  *EventRing
+	attrs map[string]string // accumulated WithAttrs context
+	group string            // dotted WithGroup prefix
+}
+
+// RingHandler wraps base so every record it handles is also captured
+// in ring.
+func RingHandler(base slog.Handler, ring *EventRing) slog.Handler {
+	return &ringHandler{base: base, ring: ring}
+}
+
+func (h *ringHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.base.Enabled(ctx, level)
+}
+
+func (h *ringHandler) Handle(ctx context.Context, rec slog.Record) error {
+	attrs := make(map[string]string, len(h.attrs)+rec.NumAttrs())
+	for k, v := range h.attrs {
+		attrs[k] = v
+	}
+	rec.Attrs(func(a slog.Attr) bool {
+		h.flatten(attrs, h.group, a)
+		return true
+	})
+	if len(attrs) == 0 {
+		attrs = nil
+	}
+	h.ring.Record(rec.Level.String(), rec.Message, attrs)
+	return h.base.Handle(ctx, rec)
+}
+
+func (h *ringHandler) flatten(into map[string]string, prefix string, a slog.Attr) {
+	key := a.Key
+	if prefix != "" {
+		key = prefix + "." + key
+	}
+	if a.Value.Kind() == slog.KindGroup {
+		for _, ga := range a.Value.Group() {
+			h.flatten(into, key, ga)
+		}
+		return
+	}
+	into[key] = a.Value.Resolve().String()
+}
+
+func (h *ringHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	merged := make(map[string]string, len(h.attrs)+len(attrs))
+	for k, v := range h.attrs {
+		merged[k] = v
+	}
+	for _, a := range attrs {
+		h.flatten(merged, h.group, a)
+	}
+	return &ringHandler{base: h.base.WithAttrs(attrs), ring: h.ring, attrs: merged, group: h.group}
+}
+
+func (h *ringHandler) WithGroup(name string) slog.Handler {
+	group := name
+	if h.group != "" {
+		group = h.group + "." + name
+	}
+	return &ringHandler{base: h.base.WithGroup(name), ring: h.ring, attrs: h.attrs, group: group}
+}

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestEventRingBoundedAndOrdered(t *testing.T) {
+	r := NewEventRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record("INFO", fmt.Sprintf("event %d", i), nil)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		want := fmt.Sprintf("event %d", 6+i)
+		if ev.Msg != want {
+			t.Errorf("event[%d] = %q, want %q (oldest-first)", i, ev.Msg, want)
+		}
+		if ev.Seq != uint64(6+i) {
+			t.Errorf("event[%d].Seq = %d, want %d", i, ev.Seq, 6+i)
+		}
+	}
+}
+
+func TestEventRingHTTP(t *testing.T) {
+	r := NewEventRing(8)
+	r.Record("WARN", "checkpoint failed", map[string]string{"path": "/tmp/x"})
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var reply struct {
+		Total  uint64  `json:"total"`
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Total != 1 || len(reply.Events) != 1 || reply.Events[0].Attrs["path"] != "/tmp/x" {
+		t.Errorf("reply = %+v", reply)
+	}
+}
+
+func TestLoggerFeedsRing(t *testing.T) {
+	ring := NewEventRing(16)
+	var out strings.Builder
+	log, err := NewLogger(LogOptions{Level: "debug", Format: "json", Output: &out, Ring: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("restored corpus", "addrs", 123)
+	log.WithGroup("ingest").With("shard", 2).Warn("queue full")
+
+	evs := ring.Events()
+	if len(evs) != 2 {
+		t.Fatalf("ring saw %d events, want 2", len(evs))
+	}
+	if evs[0].Msg != "restored corpus" || evs[0].Attrs["addrs"] != "123" {
+		t.Errorf("first event = %+v", evs[0])
+	}
+	if evs[1].Level != "WARN" || evs[1].Attrs["ingest.shard"] != "2" {
+		t.Errorf("grouped attrs not flattened: %+v", evs[1])
+	}
+	// The base JSON handler still got both lines.
+	if n := strings.Count(out.String(), "\n"); n != 2 {
+		t.Errorf("base handler wrote %d lines, want 2:\n%s", n, out.String())
+	}
+	var line map[string]any
+	if err := json.Unmarshal([]byte(strings.SplitN(out.String(), "\n", 2)[0]), &line); err != nil {
+		t.Fatalf("log output not JSON: %v", err)
+	}
+}
+
+func TestLoggerLevelAndFormatValidation(t *testing.T) {
+	if _, err := NewLogger(LogOptions{Level: "loud"}); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := NewLogger(LogOptions{Format: "xml"}); err == nil {
+		t.Error("bad format accepted")
+	}
+	var out strings.Builder
+	log, err := NewLogger(LogOptions{Level: "warn", Format: "text", Output: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("suppressed")
+	log.Warn("emitted")
+	if strings.Contains(out.String(), "suppressed") || !strings.Contains(out.String(), "emitted") {
+		t.Errorf("level filtering wrong:\n%s", out.String())
+	}
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	h := NewHealth()
+	probe := func(t *testing.T, which string) (int, string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		switch which {
+		case "healthz":
+			h.LivenessHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		case "readyz":
+			h.ReadinessHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+		}
+		return rec.Code, rec.Body.String()
+	}
+
+	if code, body := probe(t, "healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("healthz before ready: %d %q", code, body)
+	}
+	if code, body := probe(t, "readyz"); code != 503 || !strings.Contains(body, "starting") {
+		t.Errorf("readyz before ready: %d %q", code, body)
+	}
+	h.SetReady()
+	if code, body := probe(t, "readyz"); code != 200 || !strings.Contains(body, "ready") {
+		t.Errorf("readyz when ready: %d %q", code, body)
+	}
+	h.SetNotReady("shutting down")
+	if code, body := probe(t, "readyz"); code != 503 || !strings.Contains(body, "shutting down") {
+		t.Errorf("readyz during shutdown: %d %q", code, body)
+	}
+	if code, _ := probe(t, "healthz"); code != 200 {
+		t.Error("healthz must stay 200 while not ready")
+	}
+}

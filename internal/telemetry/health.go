@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Health tracks the process's readiness for the standard /healthz and
+// /readyz endpoints. Liveness (healthz) is unconditional — if the
+// handler runs, the process is alive. Readiness (readyz) is a gate the
+// daemon flips: not ready while restoring or shutting down, ready while
+// the pipeline is accepting work. Load balancers and orchestration
+// probes key off the status codes; the bodies are for humans.
+type Health struct {
+	mu     sync.Mutex
+	ready  bool
+	reason string
+}
+
+// NewHealth returns a Health that starts not ready ("starting").
+func NewHealth() *Health {
+	return &Health{reason: "starting"}
+}
+
+// SetReady marks the process ready.
+func (h *Health) SetReady() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ready, h.reason = true, ""
+}
+
+// SetNotReady marks the process not ready, with the reason readyz
+// reports.
+func (h *Health) SetNotReady(reason string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ready, h.reason = false, reason
+}
+
+// Ready reports the current state.
+func (h *Health) Ready() (bool, string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ready, h.reason
+}
+
+// LivenessHandler serves /healthz: always 200 "ok".
+func (h *Health) LivenessHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// ReadinessHandler serves /readyz: 200 "ready" or 503 "not ready:
+// <reason>".
+func (h *Health) ReadinessHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready, reason := h.Ready(); !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "not ready: %s\n", reason)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+}

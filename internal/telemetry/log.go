@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// LogOptions configures the shared structured-logging setup. Every
+// daemon in this repository builds its logger through NewLogger so the
+// flag surface (-log.level, -log.format) and the output conventions
+// stay uniform.
+type LogOptions struct {
+	// Level is the minimum level emitted: "debug", "info" (default),
+	// "warn" or "error".
+	Level string
+	// Format selects the handler: "text" (default, human-oriented
+	// key=value lines) or "json" (one JSON object per line, for log
+	// shippers).
+	Format string
+	// Output defaults to os.Stderr.
+	Output io.Writer
+	// Ring, when non-nil, captures every emitted record into the
+	// recent-events ring as well (see RingHandler), so /debug/events
+	// mirrors the log stream.
+	Ring *EventRing
+}
+
+// ParseLevel maps a -log.level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("telemetry: unknown log level %q (debug|info|warn|error)", s)
+}
+
+// NewLogger builds a *slog.Logger per the options.
+func NewLogger(opts LogOptions) (*slog.Logger, error) {
+	level, err := ParseLevel(opts.Level)
+	if err != nil {
+		return nil, err
+	}
+	out := opts.Output
+	if out == nil {
+		out = os.Stderr
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch strings.ToLower(strings.TrimSpace(opts.Format)) {
+	case "", "text":
+		h = slog.NewTextHandler(out, hopts)
+	case "json":
+		h = slog.NewJSONHandler(out, hopts)
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (text|json)", opts.Format)
+	}
+	if opts.Ring != nil {
+		h = RingHandler(h, opts.Ring)
+	}
+	return slog.New(h), nil
+}

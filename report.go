@@ -16,8 +16,37 @@ import (
 	"hitlist6/internal/oui"
 	"hitlist6/internal/scan"
 	"hitlist6/internal/stats"
+	"hitlist6/internal/telemetry"
 	"hitlist6/internal/tracking"
 )
+
+// reportSection is one named unit of Report: the name keys the
+// section's timing series on /metrics and never appears in the rendered
+// text, so naming sections cannot perturb the golden report.
+type reportSection struct {
+	name string
+	fn   func() string
+}
+
+// timedTask wraps one named unit of Report work (a section render or a
+// shared-input build) so its wall time feeds
+// report_section_seconds{section=name} on Config.Telemetry. With no
+// registry the task runs bare — zero instrumentation cost on the
+// default path.
+func (s *Study) timedTask(name string, fn func()) func() {
+	reg := s.Config.Telemetry
+	if reg == nil {
+		return fn
+	}
+	h := reg.Histogram("report_section_seconds",
+		"Wall time of one report section render or shared-input build.",
+		telemetry.DurationBuckets(), telemetry.L("section", name))
+	return func() {
+		start := time.Now()
+		fn()
+		h.ObserveDuration(time.Since(start))
+	}
+}
 
 // Report runs every experiment of the paper's evaluation and renders the
 // results as text, one section per table/figure. It is the programmatic
@@ -39,22 +68,25 @@ func (s *Study) Report() (string, error) {
 
 	// Phase 1: the shared inputs. Sidecars are immutable once built;
 	// building them here also seals every dataset before the sections
-	// start reading them concurrently.
+	// start reading them concurrently. Each build is timed as
+	// input:<name> alongside the sections (see timedTask), so a slow
+	// report points at its expensive phase directly.
 	var (
 		scNTP, scHL, scCAIDA, scDay *analysis.Sidecar
 		tr                          *tracking.Analysis
 		bs                          *scan.BackscanStats
 		bsErr                       error
 	)
+	input := func(name string, fn func()) func() { return s.timedTask("input:"+name, fn) }
 	fold.Each(workers,
-		func() { scNTP = analysis.BuildSidecar(s.NTP, db, workers) },
-		func() { scHL = analysis.BuildSidecar(s.Hitlist.Dataset, db, workers) },
-		func() { scCAIDA = analysis.BuildSidecar(s.CAIDA, db, workers) },
-		func() { scDay = analysis.BuildSidecar(s.NTPDay, db, workers) },
-		func() {
+		input("sidecar_ntp", func() { scNTP = analysis.BuildSidecar(s.NTP, db, workers) }),
+		input("sidecar_hitlist", func() { scHL = analysis.BuildSidecar(s.Hitlist.Dataset, db, workers) }),
+		input("sidecar_caida", func() { scCAIDA = analysis.BuildSidecar(s.CAIDA, db, workers) }),
+		input("sidecar_day", func() { scDay = analysis.BuildSidecar(s.NTPDay, db, workers) }),
+		input("tracking", func() {
 			tr = tracking.AnalyzeWorkers(s.Collector, db, s.World.Geo, s.World.OUI, workers)
-		},
-		func() { bs, bsErr = s.Backscan() },
+		}),
+		input("backscan", func() { bs, bsErr = s.Backscan() }),
 	)
 	if bsErr != nil {
 		return "", bsErr
@@ -67,14 +99,15 @@ func (s *Study) Report() (string, error) {
 		return fmt.Sprintf("\n"+format+"\n", args...)
 	}
 	var geoErr error
-	sections := []func() string{
-		func() string { return s.reportHeader(workers) }, // observations + HLL
+	sections := []reportSection{
+		{"header", // observations + HLL
+			func() string { return s.reportHeader(workers) }},
 
-		func() string { // Table 1
+		{"table1", func() string {
 			return sec("%s", analysis.ComputeTable1Sidecar(scNTP, scHL, scCAIDA, workers).Render())
-		},
+		}},
 
-		func() string { // §4.1 AS type shares
+		{"as_types", func() string { // §4.1 AS type shares
 			typeTable := stats.NewTable("", "Dataset", "Phone Provider", "ISP", "Hosting")
 			for _, row := range []struct {
 				name  string
@@ -91,9 +124,9 @@ func (s *Study) Report() (string, error) {
 			}
 			return sec("AS-type composition (share of addresses; paper: NTP has ~14%% Phone Provider, Hitlist ~2%%)") +
 				sec("%s", typeTable.String())
-		},
+		}},
 
-		func() string { // Figure 1
+		{"figure1", func() string {
 			f1 := analysis.ComputeFigure1Sidecar(scNTP, scHL, scCAIDA, workers)
 			f1Table := stats.NewTable("", "Curve", "N", "Median entropy")
 			f1Table.AddRowf("NTP", f1.NTP.N(), f1.NTP.Median())
@@ -108,9 +141,9 @@ func (s *Study) Report() (string, error) {
 					"Hitlist": f1.Hitlist.CDFSeries(48),
 					"CAIDA":   f1.CAIDA.CDFSeries(48),
 				}, 48, 12))
-		},
+		}},
 
-		func() string { // Figure 2a
+		{"figure2a", func() string {
 			f2a := analysis.ComputeFigure2aWorkers(s.Collector, workers)
 			f2aTable := stats.NewTable("", "Metric", "Fraction")
 			f2aTable.AddRow("observed once", stats.Pct(f2a.ObservedOnce, 1))
@@ -119,9 +152,9 @@ func (s *Study) Report() (string, error) {
 			f2aTable.AddRow("> 180 days", stats.Pct(f2a.SixMonthsOrLonger, 3))
 			return sec("Figure 2a: address lifetimes (paper: >60%% observed once; 1.2%% ≥1w; 0.4%% ≥30d; 0.03%% >6mo)") +
 				sec("%s", f2aTable.String())
-		},
+		}},
 
-		func() string { // Figure 2b
+		{"figure2b", func() string {
 			f2b := analysis.ComputeFigure2bWorkers(s.Collector, workers)
 			f2bTable := stats.NewTable("", "Entropy class", "IIDs", "Observed once", ">= 1 week")
 			for _, cls := range []addr.EntropyClass{addr.LowEntropy, addr.MediumEntropy, addr.HighEntropy} {
@@ -134,28 +167,28 @@ func (s *Study) Report() (string, error) {
 			}
 			return sec("Figure 2b: IID lifetime by entropy class (paper: 10%% of low-entropy IIDs last ≥1 week vs ≤5%% of others)") +
 				sec("%s", f2bTable.String())
-		},
+		}},
 
-		func() string { // §4.2 backscanning + Figure 3
+		{"backscan", func() string { // §4.2 backscanning + Figure 3
 			return sec("%s", RenderBackscan(bs, s))
-		},
+		}},
 
-		func() string { // Figure 4a
+		{"figure4a", func() string {
 			return sec("%s", renderFigure4("Figure 4a: top-5 AS entropy medians (full window)",
 				analysis.TopASEntropySidecar(scNTP, db, 5, workers)))
-		},
+		}},
 
-		func() string { // Figure 4b
+		{"figure4b", func() string {
 			return sec("%s", renderFigure4("Figure 4b: top-5 AS entropy medians (1-day slice)",
 				analysis.TopASEntropySidecar(scDay, db, 5, workers)))
-		},
+		}},
 
-		func() string { // §4.3 addressing strategies
+		{"strategies", func() string { // §4.3 addressing strategies
 			return sec("%s", analysis.RenderStrategies(
 				analysis.InferStrategiesSidecar(scNTP, db, 6, workers)))
-		},
+		}},
 
-		func() string { // Figure 5
+		{"figure5", func() string {
 			f5 := analysis.ComputeFigure5Sidecar(scDay, scHL, workers)
 			f5Table := stats.NewTable("", "Category", "NTP", "IPv6 Hitlist")
 			for c := addr.Category(0); c < addr.NumCategories; c++ {
@@ -164,26 +197,27 @@ func (s *Study) Report() (string, error) {
 			}
 			return sec("Figure 5: addressing categories, 1-day slice (paper: NTP ~2/3 high entropy; Hitlist low-byte heavy)") +
 				sec("%s", f5Table.String())
-		},
+		}},
 
-		func() string { // §5.1/5.2 tracking
+		{"tracking", func() string { // §5.1/5.2
 			return sec("%s", RenderTracking(tr, db))
-		},
+		}},
 
-		func() string { // §5.3 geolocation (shares the tracking analysis)
+		{"geolocation", func() string { // §5.3 (shares the tracking analysis)
 			geo, err := s.geolocationFrom(tr, 0)
 			if err != nil {
 				geoErr = err
 				return ""
 			}
 			return sec("%s", RenderGeolocation(geo))
-		},
+		}},
 	}
 	texts := make([]string, len(sections))
 	tasks := make([]func(), len(sections))
 	for i := range sections {
 		i := i
-		tasks[i] = func() { texts[i] = sections[i]() }
+		fn := sections[i].fn
+		tasks[i] = s.timedTask(sections[i].name, func() { texts[i] = fn() })
 	}
 	fold.Each(workers, tasks...)
 	if geoErr != nil {

@@ -30,6 +30,7 @@ import (
 	"hitlist6/internal/outage"
 	"hitlist6/internal/scan"
 	"hitlist6/internal/simnet"
+	"hitlist6/internal/telemetry"
 	"hitlist6/internal/tracking"
 	"hitlist6/internal/wigle"
 )
@@ -85,6 +86,17 @@ type Config struct {
 	// multiply (see internal/fold). 0 selects GOMAXPROCS. Results are
 	// bit-identical for every worker count, so this only affects speed.
 	AnalysisWorkers int
+	// Telemetry, when non-nil, is the metrics registry the study
+	// instruments itself in: CollectPassive's ingest pipeline registers
+	// its per-shard/per-stage families there (see ingest.Config.Registry),
+	// Report times each section into report_section_seconds, and NewStudy
+	// installs the process-wide fold dispatch timing hook feeding
+	// fold_dispatch_seconds. A daemon exposes the registry on /metrics;
+	// nil (the default) leaves the study entirely uninstrumented — no
+	// timing reads on any analysis path and no global hook installed.
+	// Instrumentation never changes results: the golden report remains
+	// byte-identical with and without a registry.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the paper-shaped study at moderate scale.
@@ -173,6 +185,17 @@ func NewStudy(cfg Config) (*Study, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Telemetry != nil {
+		// The fold timing hook is process-wide (see fold.SetTiming): one
+		// histogram sees every dispatch — figures, tracking, report
+		// sections — which is exactly the granularity a daemon's /metrics
+		// wants. Re-registration is idempotent, so multiple studies
+		// sharing a registry share the series.
+		h := cfg.Telemetry.Histogram("fold_dispatch_seconds",
+			"Wall time of one parallel fold dispatch (any analysis fan-out).",
+			telemetry.DurationBuckets())
+		fold.SetTiming(func(jobs int, wall time.Duration) { h.ObserveDuration(wall) })
+	}
 	return &Study{
 		Config:   cfg,
 		World:    w,
@@ -202,6 +225,7 @@ func (s *Study) CollectPassive() error {
 	}
 	dayEnd := s.DayStart.Add(24 * time.Hour)
 	cfg := ingest.DefaultConfig(s.Config.IngestShards)
+	cfg.Registry = s.Config.Telemetry
 	cfg.Stages = []ingest.StageFactory{
 		ingest.DaySlice(s.DayStart.Unix(), dayEnd.Unix()),
 		ingest.OutageSeries(s.World.ASDB, s.World.Origin, s.World.End, bin),
