@@ -8,6 +8,8 @@
 //	dataset merge  OUT A B [C..]  union several datasets into OUT
 //	dataset release FILE          print the /48-truncated release form
 //	dataset export  FILE          print one address per line
+//
+//lint:durable-path merge writes dataset files users depend on
 package main
 
 import (
@@ -135,8 +137,14 @@ func cmdMerge(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if _, err := out.WriteTo(f); err != nil {
+		//lint:durable best-effort cleanup; the write error being returned is the root cause
+		f.Close()
+		return err
+	}
+	// Close flushes; a dropped error here could report a truncated file
+	// as written.
+	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s addresses to %s\n", stats.Comma(int64(out.Len())), args[0])

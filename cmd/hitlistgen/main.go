@@ -6,6 +6,8 @@
 // Usage:
 //
 //	hitlistgen [-seed N] [-scale F] [-days N] [-outdir DIR]
+//
+//lint:durable-path -outdir writes the release artifacts
 package main
 
 import (
@@ -77,6 +79,7 @@ func main() {
 				fatal(err)
 			}
 			if _, err := d.WriteTo(f); err != nil {
+				//lint:durable best-effort cleanup before the fatal exit reports the write error
 				f.Close()
 				fatal(err)
 			}
@@ -93,6 +96,7 @@ func main() {
 			fatal(err)
 		}
 		if _, err := study.Hitlist.Aliases.WriteTo(af); err != nil {
+			//lint:durable best-effort cleanup before the fatal exit reports the write error
 			af.Close()
 			fatal(err)
 		}

@@ -1,0 +1,104 @@
+// Command repolint runs the repo's invariant lint suite
+// (internal/lint) over the given package patterns — the multichecker
+// CI blocks on. With no patterns it covers the whole module.
+//
+//	go run ./cmd/repolint ./...          # human-readable findings
+//	go run ./cmd/repolint -json ./...    # machine-readable, for CI annotations
+//	go run ./cmd/repolint -vet ./...     # also run the curated go vet passes
+//
+// Exit status: 0 clean, 1 findings, 2 operational failure (bad
+// patterns, packages that don't build).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"hitlist6/internal/lint"
+)
+
+// vetPasses is the curated go vet subset repolint -vet adds: the
+// passes that, like the custom analyzers, guard invariants rather than
+// style. CI runs the full `go vet ./...` separately; this flag exists
+// so a local `repolint -vet` is one command for the whole story.
+var vetPasses = []string{"-atomic", "-copylocks", "-lostcancel", "-sigchanyzer", "-unusedresult", "-defers", "-slog"}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	vet := fs.Bool("vet", false, "also run the curated go vet passes")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	diags := lint.Run(lint.All(), pkgs)
+
+	// Paths come out of the loader absolute; report them relative to
+	// the working directory so findings read like compiler output.
+	if wd, err := os.Getwd(); err == nil {
+		for i := range diags {
+			if rel, err := filepath.Rel(wd, diags[i].File); err == nil && !filepath.IsAbs(rel) {
+				diags[i].File = rel
+				diags[i].Pos.Filename = rel
+			}
+		}
+	}
+
+	status := 0
+	if *jsonOut {
+		out := diags
+		if out == nil {
+			out = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "repolint: %d finding(s)\n", len(diags))
+		}
+		status = 1
+	}
+
+	if *vet {
+		vetArgs := append(append([]string{"vet"}, vetPasses...), patterns...)
+		cmd := exec.Command("go", vetArgs...)
+		cmd.Stdout = stdout
+		cmd.Stderr = stderr
+		if err := cmd.Run(); err != nil {
+			if _, ok := err.(*exec.ExitError); !ok {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			status = 1
+		}
+	}
+	return status
+}

@@ -1,0 +1,25 @@
+// Package broken is repolint's end-to-end fixture: the two
+// acceptance-checklist violations — a fold-shape map range in
+// determinism-critical code and a pointer field in a slab struct —
+// that must make the binary exit non-zero.
+//
+//lint:deterministic
+package broken
+
+// entry is a slab element that smuggles a pointer.
+//
+//lint:slab
+type entry struct {
+	key  uint64
+	name *string
+}
+
+// Merge is the fold partial-merge shape with an unsorted map range.
+func Merge(dst, src map[uint64]int) map[uint64]int {
+	for k, v := range src {
+		dst[k] += v
+	}
+	return dst
+}
+
+var _ = entry{}

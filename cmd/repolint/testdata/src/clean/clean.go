@@ -1,0 +1,27 @@
+// Package clean is repolint's negative fixture: determinism-critical
+// code and a slab type with nothing to flag.
+//
+//lint:deterministic
+package clean
+
+import "sort"
+
+// entry is a pointer-free slab element.
+//
+//lint:slab
+type entry struct {
+	key  uint64
+	when int64
+}
+
+// Keys is the canonical collect-then-sort idiom.
+func Keys(m map[uint64]int) []uint64 {
+	ks := make([]uint64, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+var _ = entry{}

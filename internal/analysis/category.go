@@ -82,6 +82,7 @@ func categorizeSidecar(sc *Sidecar, rule v4Rule, workers int) *CategoryBreakdown
 			return part
 		},
 		func(dst, src map[asdb.ASN]v4Tally) map[asdb.ASN]v4Tally {
+			//lint:ordered per-key tally sums commute; the merged map carries no order
 			for asn, t := range src {
 				d := dst[asn]
 				d.total += t.total
@@ -91,6 +92,7 @@ func categorizeSidecar(sc *Sidecar, rule v4Rule, workers int) *CategoryBreakdown
 			return dst
 		})
 	accepted := make(map[asdb.ASN]bool)
+	//lint:ordered map-to-set projection; membership is order-independent
 	for asn, t := range byAS {
 		if t.cand >= rule.MinInstances && float64(t.cand) >= rule.MinShare*float64(t.total) {
 			accepted[asn] = true

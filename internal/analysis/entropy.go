@@ -113,6 +113,7 @@ func TopASEntropy(d *hitlist.Dataset, db *asdb.DB, topN int) []ASEntropy {
 func TopASEntropySidecar(sc *Sidecar, db *asdb.DB, topN int, workers int) []ASEntropy {
 	byAS := sc.ByAS(workers)
 	out := make([]ASEntropy, 0, len(byAS))
+	//lint:ordered every append is washed by the (Count, ASN) total-order sort below
 	for asn, idxs := range byAS {
 		e := ASEntropy{ASN: asn, Count: len(idxs)}
 		if as := db.Get(asn); as != nil {

@@ -112,6 +112,7 @@ func (sc *Sidecar) ByAS(workers int) map[asdb.ASN][]int32 {
 			},
 			func(dst, src map[asdb.ASN][]int32) map[asdb.ASN][]int32 {
 				// Ascending range order keeps each group's indices sorted.
+				//lint:ordered per-key appends are independent; fold merges partials in ascending range order
 				for asn, idxs := range src {
 					dst[asn] = append(dst[asn], idxs...)
 				}

@@ -48,6 +48,7 @@ func sidecarStats(sc, reference *Sidecar, workers int) hitlist.Stats {
 	if reference != nil {
 		st.CommonAddrs = hitlist.IntersectionSize(sc.D, reference.D)
 		st.CommonP48s = hitlist.CommonP48s(sc.D, reference.D)
+		//lint:ordered counting set-intersection size is commutative; no order reaches the output
 		for asn := range reference.ByAS(workers) {
 			if _, ok := asns[asn]; ok {
 				st.CommonASNs++

@@ -228,6 +228,8 @@ func mix64(x uint64) uint64 {
 }
 
 // addrEntry is one inline (address, record) pair in the address slab.
+//
+//lint:slab
 type addrEntry struct {
 	key addr.Addr
 	rec AddrRecord
@@ -242,6 +244,8 @@ const spanNone = ^uint32(0)
 // all sightings; spans heads the IID's chain in the shared span slab
 // (spanNone when the IID is not EUI-64); p64n counts distinct /64s so
 // prefix-spread queries are O(1).
+//
+//lint:slab
 type iidEntry struct {
 	key         addr.IID
 	first, last int64
@@ -252,6 +256,8 @@ type iidEntry struct {
 
 // spanNode is one /64 sighting window in the shared span slab. next
 // chains the nodes of one IID by slab index, terminated by spanNone.
+//
+//lint:slab
 type spanNode struct {
 	p64         addr.Prefix64
 	first, last int64

@@ -32,6 +32,8 @@ import (
 // derived data (recomputable from the address slab) purely as a
 // restore-speed trade: loading ~10^5 distinct prefixes beats
 // re-deriving them with two set inserts per address.
+//
+//lint:durable-path snapshots are the collector's crash-recovery state
 const (
 	snapMagic   = "h6corps1"
 	snapVersion = 1

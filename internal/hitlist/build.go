@@ -1,7 +1,9 @@
 package hitlist
 
 import (
+	"maps"
 	"math/rand"
+	"slices"
 	"time"
 
 	"hitlist6/internal/addr"
@@ -146,19 +148,23 @@ func BuildActiveHitlist(w *simnet.World, cfg ActiveConfig) (*ActiveResult, error
 		res.ProbesSent += y.Traces * 8 // ~8 TTL probes per trace
 		discovered := scan.DiscoveredAddrs(traces)
 
+		// Canonical views of the round's sets: everything that flows
+		// into probe target lists or model training is ordered, so the
+		// campaign's probe stream is identical run to run regardless of
+		// map iteration order (the mapiter lint invariant).
+		discSorted := sortedAddrs(discovered)
+		respSorted := sortedAddrs(responsive)
+
 		// Step 3: target generation from every /64 seen so far.
 		p64s := make(map[addr.Prefix64]struct{})
-		for a := range discovered {
+		for _, a := range discSorted {
 			p64s[a.P64()] = struct{}{}
 		}
-		for a := range responsive {
+		for _, a := range respSorted {
 			p64s[a.P64()] = struct{}{}
 		}
-		var candidates []addr.Addr
-		for a := range discovered {
-			candidates = append(candidates, a)
-		}
-		for p := range p64s {
+		candidates := append([]addr.Addr(nil), discSorted...)
+		for _, p := range slices.Sorted(maps.Keys(p64s)) {
 			for lb := 1; lb <= cfg.TGALowBytes; lb++ {
 				candidates = append(candidates, p.Addr().WithIID(addr.IID(lb)))
 			}
@@ -169,13 +175,9 @@ func BuildActiveHitlist(w *simnet.World, cfg ActiveConfig) (*ActiveResult, error
 		// the model inherits the training set's infrastructure bias and
 		// hit rates are low — the ablation benchmarks quantify this.
 		if cfg.UseEntropyIP && len(responsive)+len(discovered) >= 2 {
-			var train []addr.Addr
-			for a := range responsive {
-				train = append(train, a)
-			}
-			for a := range discovered {
-				train = append(train, a)
-			}
+			train := make([]addr.Addr, 0, len(respSorted)+len(discSorted))
+			train = append(train, respSorted...)
+			train = append(train, discSorted...)
 			if model, err := tga.NewEntropyIP(train); err == nil {
 				rng := rand.New(rand.NewSource(int64(cfg.Seed) + int64(round)))
 				candidates = append(candidates, model.Generate(cfg.EntropyIPBudget, rng)...)
@@ -195,12 +197,13 @@ func BuildActiveHitlist(w *simnet.World, cfg ActiveConfig) (*ActiveResult, error
 			}
 		}
 
-		// Step 5: alias detection over responding /64s.
+		// Step 5: alias detection over responding /64s. responsive grew
+		// in step 4, so the canonical view is rebuilt.
 		hot := make(map[addr.Prefix64]int)
-		for a := range responsive {
+		for _, a := range sortedAddrs(responsive) {
 			hot[a.P64()]++
 		}
-		for p := range hot {
+		for _, p := range slices.Sorted(maps.Keys(hot)) {
 			if res.Aliases.Contains(p) {
 				continue
 			}
@@ -213,7 +216,7 @@ func BuildActiveHitlist(w *simnet.World, cfg ActiveConfig) (*ActiveResult, error
 	}
 
 	// Publish: responsive addresses outside aliased prefixes.
-	for a := range responsive {
+	for _, a := range sortedAddrs(responsive) {
 		if !res.Aliases.Contains(a.P64()) {
 			res.Dataset.Add(a)
 		}
@@ -255,10 +258,30 @@ func BuildCAIDA48(w *simnet.World, cfg CAIDAConfig) (*Dataset, error) {
 		return nil, err
 	}
 	d := NewDataset("CAIDA routed /48 (simulated)")
-	for a := range scan.DiscoveredAddrs(traces) {
+	for _, a := range sortedAddrs(scan.DiscoveredAddrs(traces)) {
 		d.Add(a)
 	}
 	return d, nil
+}
+
+// sortedAddrs renders an address set in canonical ascending order: the
+// shape every probe target list and training set is built from, so
+// active campaigns are reproducible run to run.
+func sortedAddrs(set map[addr.Addr]struct{}) []addr.Addr {
+	out := make([]addr.Addr, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	slices.SortFunc(out, func(x, y addr.Addr) int {
+		switch {
+		case x.Less(y):
+			return -1
+		case y.Less(x):
+			return 1
+		}
+		return 0
+	})
+	return out
 }
 
 // split48s enumerates the /48s inside a prefix of length 32..48. limit

@@ -8,6 +8,8 @@ package hitlist
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 	"strings"
 
@@ -239,6 +241,7 @@ func ComputeStats(d *Dataset, db *asdb.DB, reference *Dataset) Stats {
 	if reference != nil {
 		st.CommonAddrs = IntersectionSize(d, reference)
 		st.CommonP48s = CommonP48s(d, reference)
+		//lint:ordered counting set-intersection size is commutative; no order reaches the output
 		for asn := range asnSet(reference, db) {
 			if _, ok := asns[asn]; ok {
 				st.CommonASNs++
@@ -271,9 +274,11 @@ func (l *AliasList) Contains(p addr.Prefix64) bool {
 // Len returns the number of aliased prefixes.
 func (l *AliasList) Len() int { return len(l.prefixes) }
 
-// Each iterates the aliased prefixes.
+// Each iterates the aliased prefixes in ascending prefix order, so
+// every consumer — current and future — inherits a deterministic view
+// without sorting on its own.
 func (l *AliasList) Each(fn func(p addr.Prefix64) bool) {
-	for p := range l.prefixes {
+	for _, p := range slices.Sorted(maps.Keys(l.prefixes)) {
 		if !fn(p) {
 			return
 		}

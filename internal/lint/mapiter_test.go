@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"hitlist6/internal/lint"
+	"hitlist6/internal/lint/linttest"
+)
+
+func TestMapIter(t *testing.T) {
+	linttest.Run(t, lint.MapIter(), "./testdata/src/mapiter")
+}
+
+// TestMapIterBackscanShape pins the PR 3 regression: the exact
+// collect-responses-by-map-range shape that broke Backscan's output
+// determinism must stay flagged, and the sorted fix must stay clean.
+func TestMapIterBackscanShape(t *testing.T) {
+	linttest.Run(t, lint.MapIter(), "./testdata/src/backscan")
+}

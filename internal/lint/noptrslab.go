@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// knownSlabTypes pins the collector's slab element structs to the
+// pointer-free check even if their //lint:slab annotations are ever
+// edited away: these three types are the entire resident corpus, and
+// "GC never scans the corpus" (PR 3) rots silently the day one of them
+// grows a pointer.
+var knownSlabTypes = map[string]map[string]bool{
+	"hitlist6/internal/collector": {
+		"addrEntry": true,
+		"iidEntry":  true,
+		"spanNode":  true,
+	},
+}
+
+// NoPtrSlab returns the pointer-free-slab analyzer: every type
+// annotated //lint:slab (and the built-in collector slab types) must
+// contain no pointer-bearing memory — no pointer, string, slice, map,
+// channel, function, interface or unsafe.Pointer fields, recursively
+// through embedded structs, arrays and named types from any package.
+// Slab *elements* carry the invariant; the containers holding the
+// slabs (Collector, u64set) own the few slice headers GC does scan.
+//
+// There is no suppression: a slab type with a pointer is never
+// acceptable — either remove the field or remove the annotation (and
+// with it the type's right to live in a slab).
+func NoPtrSlab() *Analyzer {
+	a := &Analyzer{
+		Name: "noptrslab",
+		Doc:  "proves //lint:slab-annotated types are pointer-free so GC never scans the corpus",
+	}
+	a.Run = func(pass *Pass) {
+		known := knownSlabTypes[pass.Pkg.PkgPath]
+		for _, file := range pass.Pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					annotated := CommentDirective([]*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment}, "slab") ||
+						known[ts.Name.Name]
+					if !annotated {
+						continue
+					}
+					checkSlabType(pass, ts)
+				}
+			}
+		}
+	}
+	return a
+}
+
+func checkSlabType(pass *Pass, ts *ast.TypeSpec) {
+	obj, ok := pass.Pkg.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		// A non-struct slab type (e.g. `type foo []byte`) is checked as
+		// a whole.
+		if path, bad := firstPointer(obj.Type(), nil); bad != nil {
+			pass.Reportf(ts.Name.Pos(), "slab type %s contains pointer-bearing memory: %s (%s)", ts.Name.Name, pathOrType(ts.Name.Name, path), bad)
+		}
+		return
+	}
+	// Report at the offending top-level field so the finding lands on
+	// the line to fix; the path names the nested culprit when the
+	// pointer hides inside an embedded type.
+	var flat []*ast.Ident
+	if structAST, ok := ts.Type.(*ast.StructType); ok {
+		flat = flattenFields(structAST)
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		path, bad := firstPointer(f.Type(), nil)
+		if bad == nil {
+			continue
+		}
+		pos := ts.Name.Pos()
+		if i < len(flat) && flat[i] != nil {
+			pos = flat[i].Pos()
+		}
+		pass.Reportf(pos, "slab type %s is not pointer-free: field %s is %s (GC would scan every slab chunk)",
+			ts.Name.Name, pathOrType(f.Name(), path), bad)
+	}
+}
+
+func pathOrType(root, path string) string {
+	if path == "" {
+		return root
+	}
+	return root + path
+}
+
+// flattenFields expands a struct's field list so that `a, b T` yields
+// one entry per name, aligning indices with types.Struct fields.
+func flattenFields(st *ast.StructType) []*ast.Ident {
+	var out []*ast.Ident
+	for _, f := range st.Fields.List {
+		if len(f.Names) == 0 {
+			// Embedded field: no name ident; reuse the type position via
+			// a synthetic nil slot — callers fall back to the type name
+			// position when out[i] is nil.
+			out = append(out, nil)
+			continue
+		}
+		out = append(out, f.Names...)
+	}
+	return out
+}
+
+// firstPointer walks t and returns the field path and type of the
+// first pointer-bearing component, or ("", nil) if t is pointer-free.
+// seen guards recursive named types.
+func firstPointer(t types.Type, seen map[*types.Named]bool) (string, types.Type) {
+	if named, ok := t.(*types.Named); ok {
+		if seen[named] {
+			return "", nil
+		}
+		if seen == nil {
+			seen = make(map[*types.Named]bool)
+		}
+		seen[named] = true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.String, types.UnsafePointer:
+			return "", t
+		}
+		return "", nil
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return "", t
+	case *types.Array:
+		path, bad := firstPointer(u.Elem(), seen)
+		if bad != nil {
+			return "[...]" + path, bad
+		}
+		return "", nil
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			path, bad := firstPointer(f.Type(), seen)
+			if bad != nil {
+				return "." + f.Name() + path, bad
+			}
+		}
+		return "", nil
+	default:
+		// Type parameters and anything exotic: conservatively reject —
+		// a slab element's layout must be provably flat.
+		return "", t
+	}
+}

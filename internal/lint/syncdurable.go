@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// SyncDurable returns the durability analyzer for checkpoint/snapshot
+// write paths. The contract PR 4 established: a checkpoint either
+// lands complete — written, flushed, fsynced, closed, renamed, every
+// step's error observed — or the previous good file is untouched.
+// The analyzer flags, in scoped files:
+//
+//   - dropped errors from Write/WriteString/WriteByte/WriteRune/Flush/
+//     Sync/Close/Rename calls (bare statement, defer, or an assignment
+//     discarding the error position), except on writers that cannot
+//     fail (strings.Builder, bytes.Buffer, the hash interfaces) and on
+//     Close of files opened read-only with os.Open in the same
+//     function;
+//   - a function calling os.Rename with no fsync in sight (no .Sync()
+//     call and no call to a *Sync*-named helper): the rename publishes
+//     bytes that may still be in the page cache, exactly the torn
+//     checkpoint the atomic-write protocol exists to prevent.
+//
+// Scope: internal/snapfmt, any file whose name contains "checkpoint",
+// and any file carrying a //lint:durable-path marker (the annotation
+// every new durable-artifact writer should start with). Suppress a
+// finding with //lint:durable <justification>.
+func SyncDurable() *Analyzer {
+	a := &Analyzer{
+		Name: "syncdurable",
+		Doc:  "flags dropped write-path errors and rename-without-fsync on durability paths",
+	}
+	a.Run = func(pass *Pass) {
+		for _, file := range pass.Pkg.Files {
+			if !durableInScope(pass, file) {
+				continue
+			}
+			inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						checkDroppedErr(pass, call, stack)
+					}
+				case *ast.DeferStmt:
+					checkDroppedErr(pass, n.Call, stack)
+				case *ast.GoStmt:
+					checkDroppedErr(pass, n.Call, stack)
+				case *ast.AssignStmt:
+					checkBlankErr(pass, n, stack)
+				case *ast.FuncDecl:
+					checkRenameSync(pass, n)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func durableInScope(pass *Pass, file *ast.File) bool {
+	if pass.Pkg.PkgPath == "hitlist6/internal/snapfmt" {
+		return true
+	}
+	name := filepath.Base(pass.Pkg.Fset.Position(file.Pos()).Filename)
+	if strings.Contains(name, "checkpoint") {
+		return true
+	}
+	return pass.FileHasDirective(file.Pos(), "durable-path")
+}
+
+// droppableMethods are the calls whose error return carries the
+// durability contract.
+var droppableMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Flush": true, "Sync": true, "Close": true, "Rename": true,
+}
+
+// checkDroppedErr flags a call statement that discards a durability
+// error entirely (ExprStmt, defer, go).
+func checkDroppedErr(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	if !droppableDurabilityCall(pass, call, stack) {
+		return
+	}
+	if pass.Suppressed(call.Pos(), "durable") {
+		return
+	}
+	pass.Reportf(call.Pos(), "error from %s dropped on a durability path: a lost write/close/sync error means a checkpoint that lies; check it or suppress with //lint:durable <justification>", callName(call))
+}
+
+// checkBlankErr flags `_ = f.Sync()` and `n, _ := w.Write(p)`: the
+// error position (always last) assigned to blank.
+func checkBlankErr(pass *Pass, assign *ast.AssignStmt, stack []ast.Node) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(assign.Lhs) == 0 {
+		return
+	}
+	last, ok := ast.Unparen(assign.Lhs[len(assign.Lhs)-1]).(*ast.Ident)
+	if !ok || last.Name != "_" {
+		return
+	}
+	if !droppableDurabilityCall(pass, call, stack) {
+		return
+	}
+	if pass.Suppressed(assign.Pos(), "durable") {
+		return
+	}
+	pass.Reportf(assign.Pos(), "error from %s assigned to _ on a durability path; check it or suppress with //lint:durable <justification>", callName(call))
+}
+
+// droppableDurabilityCall reports whether call is a durability call
+// whose dropped error the analyzer cares about.
+func droppableDurabilityCall(pass *Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil || !droppableMethods[fn.Name()] {
+		return false
+	}
+	if !returnsError(pass, call) {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if fn.Signature().Recv() == nil {
+		// Package function: only os.Rename matters here.
+		return isPkgFunc(fn, "os", "Rename")
+	}
+	recvType := pass.TypeOf(sel.X)
+	if recvType == nil || neverFailsWriter(recvType) {
+		return false
+	}
+	// Close on a read-only file (opened with os.Open in this function)
+	// cannot lose written bytes.
+	if fn.Name() == "Close" {
+		if obj := objOf(pass.Pkg.Info, sel.X); obj != nil && openedReadOnly(pass, obj, stack) {
+			return false
+		}
+	}
+	return true
+}
+
+// returnsError reports whether the call's last result is error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch r := t.(type) {
+	case *types.Tuple:
+		if r.Len() == 0 {
+			return false
+		}
+		t = r.At(r.Len() - 1).Type()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// neverFailsWriter recognizes receiver types whose write-family
+// methods are documented to never return an error.
+func neverFailsWriter(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer", "hash.Hash", "hash.Hash32", "hash.Hash64":
+		return true
+	}
+	return false
+}
+
+// openedReadOnly reports whether obj is assigned from os.Open within
+// the enclosing function — the read-only file whose Close error is
+// inconsequential.
+func openedReadOnly(pass *Pass, obj types.Object, stack []ast.Node) bool {
+	body := enclosingFunc(stack)
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || found || len(assign.Rhs) != 1 {
+			return !found
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isPkgFunc(calleeFunc(pass.Pkg.Info, call), "os", "Open") {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			if objOf(pass.Pkg.Info, lhs) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkRenameSync flags functions that publish via os.Rename without
+// any fsync step.
+func checkRenameSync(pass *Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil {
+		return
+	}
+	var rename *ast.CallExpr
+	synced := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass.Pkg.Info, call)
+		if callee == nil {
+			return true
+		}
+		if isPkgFunc(callee, "os", "Rename") && rename == nil {
+			rename = call
+		}
+		if callee.Name() == "Sync" || strings.Contains(callee.Name(), "Sync") {
+			synced = true
+		}
+		return true
+	})
+	if rename == nil || synced {
+		return
+	}
+	if pass.Suppressed(rename.Pos(), "durable") {
+		return
+	}
+	pass.Reportf(rename.Pos(), "os.Rename without an fsync in %s: renaming an unsynced file publishes a checkpoint the disk may not hold yet; Sync before Rename or suppress with //lint:durable <justification>", fn.Name.Name)
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return "call"
+}

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+const telemetryPkg = "hitlist6/internal/telemetry"
+
+// metricNameRE is the repo's naming convention from PR 6: lowercase
+// snake_case, no leading/trailing/doubled underscores. (The registry's
+// own runtime check is looser — it accepts anything Prometheus-legal —
+// so the convention lives here.)
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// histogramUnitSuffixes are the unit suffixes PR 6 established for
+// distributions: durations in seconds, volumes in bytes, small
+// cardinals as events.
+var histogramUnitSuffixes = []string{"_seconds", "_bytes", "_events"}
+
+// TelemetryReg returns the telemetry hygiene analyzer. The registry is
+// handle-based and instance-scoped (registration happens in pipeline
+// constructors, not package init — see internal/telemetry), so rather
+// than the classic "register only in init" rule this analyzer enforces
+// what actually keeps the metric namespace sane here:
+//
+//   - every metric name (and label key) handed to Registry.Counter/
+//     Gauge/GaugeFunc/Histogram must be a compile-time string constant:
+//     the full namespace stays greppable, and a computed name is the
+//     unbounded-cardinality / duplicate-registration hazard;
+//   - names follow the PR 6 convention: snake_case, counters end in
+//     _total, gauges don't, histograms end in a unit suffix (_seconds,
+//     _bytes, _events);
+//   - label keys are snake_case and never the reserved "le";
+//   - across the whole run, one name is registered with one kind and
+//     one help string — the registry panics on a kind conflict at
+//     runtime and silently keeps the first help on a help conflict;
+//     both are findings here (reported via the whole-program Finish
+//     hook).
+//
+// There is no suppression: a name that breaks the convention is
+// renamed, not justified.
+func TelemetryReg() *Analyzer {
+	type site struct {
+		pos  token.Position
+		kind string
+		help string
+	}
+	regs := make(map[string][]site)
+
+	a := &Analyzer{
+		Name: "telemetryreg",
+		Doc:  "enforces telemetry metric naming, constant names, and a conflict-free registry namespace",
+	}
+	a.Run = func(pass *Pass) {
+		for _, file := range pass.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.Pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != telemetryPkg {
+					return true
+				}
+				if fn.Name() == "L" && fn.Signature().Recv() == nil {
+					checkLabelKey(pass, call)
+					return true
+				}
+				kind, ok := registryMethodKind(fn)
+				if !ok || len(call.Args) < 2 {
+					return true
+				}
+				name, isConst := constString(pass, call.Args[0])
+				if !isConst {
+					pass.Reportf(call.Args[0].Pos(), "metric name must be a compile-time string constant: computed names make the namespace ungreppable and risk unbounded series")
+					return true
+				}
+				checkMetricName(pass, call.Args[0].Pos(), kind, name)
+				help, _ := constString(pass, call.Args[1])
+				regs[name] = append(regs[name], site{
+					pos:  pass.Pkg.Fset.Position(call.Args[0].Pos()),
+					kind: kind,
+					help: help,
+				})
+				return true
+			})
+		}
+	}
+	a.Finish = func(report func(pos token.Position, format string, args ...any)) {
+		for name, sites := range regs {
+			firstKind, firstHelp := sites[0].kind, sites[0].help
+			for _, s := range sites[1:] {
+				if s.kind != firstKind {
+					report(s.pos, "metric %q re-registered as %s (first registered as %s at %s): the registry panics on this at runtime", name, s.kind, firstKind, sites[0].pos)
+				} else if s.help != firstHelp {
+					report(s.pos, "metric %q registered with a different help string than at %s: exposition keeps only the first", name, sites[0].pos)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// registryMethodKind maps a telemetry.Registry registration method to
+// its metric kind.
+func registryMethodKind(fn *types.Func) (string, bool) {
+	recv := fn.Signature().Recv()
+	if recv == nil {
+		return "", false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Counter":
+		return "counter", true
+	case "Gauge", "GaugeFunc":
+		return "gauge", true
+	case "Histogram":
+		return "histogram", true
+	}
+	return "", false
+}
+
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func checkMetricName(pass *Pass, pos token.Pos, kind, name string) {
+	if !metricNameRE.MatchString(name) {
+		pass.Reportf(pos, "metric name %q violates the snake_case convention (want %s)", name, metricNameRE)
+		return
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(pos, "counter %q must end in _total", name)
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			pass.Reportf(pos, "gauge %q must not end in _total (that suffix marks counters)", name)
+		}
+	case "histogram":
+		for _, suf := range histogramUnitSuffixes {
+			if strings.HasSuffix(name, suf) {
+				return
+			}
+		}
+		pass.Reportf(pos, "histogram %q must end in a unit suffix (%s)", name, strings.Join(histogramUnitSuffixes, ", "))
+	}
+}
+
+func checkLabelKey(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) < 1 {
+		return
+	}
+	key, isConst := constString(pass, call.Args[0])
+	if !isConst {
+		pass.Reportf(call.Args[0].Pos(), "label key must be a compile-time string constant")
+		return
+	}
+	if key == "le" {
+		pass.Reportf(call.Args[0].Pos(), "label key \"le\" is reserved for histogram buckets")
+		return
+	}
+	if !metricNameRE.MatchString(key) {
+		pass.Reportf(call.Args[0].Pos(), "label key %q violates the snake_case convention", key)
+	}
+}

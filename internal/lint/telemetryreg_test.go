@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"hitlist6/internal/lint"
+	"hitlist6/internal/lint/linttest"
+)
+
+func TestTelemetryReg(t *testing.T) {
+	linttest.Run(t, lint.TelemetryReg(), "./testdata/src/telemetryreg")
+}

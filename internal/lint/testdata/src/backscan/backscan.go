@@ -1,0 +1,36 @@
+// Package fixture reproduces the PR 3 scan.Backscan bug shape: the
+// responsive-client list was built by ranging the probe-dedup map, so
+// the published report followed map order and the golden test flaked.
+// This fixture pins mapiter to keep flagging exactly that shape (and
+// to accept the shape of the fix).
+//
+//lint:deterministic
+package fixture
+
+import "sort"
+
+// Responsive is the bug as shipped: the output slice inherits the
+// map's random order, but because nothing sorts it the analyzer has
+// to treat the if-filtered collect as unsafe.
+func Responsive(seen map[string]bool) []string {
+	var out []string
+	for target, ok := range seen { // want `range over map in determinism-critical code`
+		if ok {
+			out = append(out, target)
+		}
+	}
+	return out
+}
+
+// ResponsiveFixed is the PR 3 fix: same collect, canonical sort before
+// the order can escape. No finding.
+func ResponsiveFixed(seen map[string]bool) []string {
+	var out []string
+	for target, ok := range seen {
+		if ok {
+			out = append(out, target)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

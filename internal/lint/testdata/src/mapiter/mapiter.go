@@ -1,0 +1,138 @@
+// Package fixture exercises every shape the mapiter analyzer knows:
+// the flagged iterations, the recognized-safe idioms, and the
+// suppression grammar. The //lint:deterministic marker below is what
+// puts this package in scope — it doubles as the marker's own test.
+//
+//lint:deterministic
+package fixture
+
+import (
+	"maps"
+	"slices"
+	"sort"
+)
+
+// Sum is order-insensitive in fact but not provably: flagged.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map in determinism-critical code`
+		total += v
+	}
+	return total
+}
+
+// SumSuppressed carries the justification that blesses Sum's shape.
+func SumSuppressed(m map[string]int) int {
+	total := 0
+	//lint:ordered integer addition commutes; no order reaches the result
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SumBare has a bare directive: the suppression itself is the finding,
+// and it replaces the range-over-map diagnostic.
+func SumBare(m map[string]int) int {
+	total := 0
+	/* want `suppression requires a justification` */ //lint:ordered
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// MergeTally is the fold-merge shape from the acceptance checklist: a
+// partial-result merge whose map range is exactly the kind of code
+// that silently breaks shard equivalence when the merged value is
+// order-sensitive.
+func MergeTally(dst, src map[string]int) map[string]int {
+	for k, v := range src { // want `range over map in determinism-critical code`
+		dst[k] += v
+	}
+	return dst
+}
+
+// CollectSorted is the canonical safe idiom: collect, then sort.
+func CollectSorted(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// CollectFilteredSorted keeps the idiom safe through an if-filter.
+func CollectFilteredSorted(m map[string]int) []string {
+	var ks []string
+	for k, v := range m {
+		if v > 0 {
+			ks = append(ks, k)
+		}
+	}
+	slices.Sort(ks)
+	return ks
+}
+
+// CollectUnsorted collects but never sorts: the order escapes.
+func CollectUnsorted(m map[string]int) []string {
+	var ks []string
+	for k := range m { // want `range over map in determinism-critical code`
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Clear is the sanctioned delete-everything loop.
+func Clear(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// Repeat ranges without binding a variable: no order to observe.
+func Repeat(m map[string]int, f func()) {
+	for range m {
+		f()
+	}
+}
+
+// KeysUnsorted feeds map order straight into the return value.
+func KeysUnsorted(m map[string]int) []string {
+	return slices.Collect(maps.Keys(m)) // want `maps\.Keys in determinism-critical code`
+}
+
+// KeysSorted wraps the iterator in the canonical sort.
+func KeysSorted(m map[string]int) []string {
+	return slices.Sorted(maps.Keys(m))
+}
+
+// KeysCollectedThenSorted collects into a variable and sorts it later
+// in the same block.
+func KeysCollectedThenSorted(m map[string]int) []string {
+	ks := slices.Collect(maps.Keys(m))
+	slices.Sort(ks)
+	return ks
+}
+
+// MaxValue consumes maps.Values directly: flagged at the iterator.
+func MaxValue(m map[string]int) int {
+	best := 0
+	for v := range maps.Values(m) { // want `maps\.Values in determinism-critical code`
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// KeySet justifies its maps.Keys use: a map-to-map projection.
+func KeySet(m map[string]int) map[string]bool {
+	out := make(map[string]bool, len(m))
+	//lint:ordered map-to-set projection; the result carries no order
+	for k := range maps.Keys(m) {
+		out[k] = true
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+// Package fixture exercises the noptrslab analyzer: pointer-free slab
+// types pass, every pointer-bearing field is reported at its own line,
+// and unannotated types are none of the analyzer's business.
+package fixture
+
+// clean is a valid slab element: every field inlines.
+//
+//lint:slab
+type clean struct {
+	key   [16]byte
+	count uint32
+	when  int64
+}
+
+// withPtr smuggles a pointer — the acceptance checklist's *string
+// field in a slab struct.
+//
+//lint:slab
+type withPtr struct {
+	key  [16]byte
+	name *string // want `slab type withPtr is not pointer-free: field name is \*string`
+}
+
+//lint:slab
+type withString struct {
+	label string // want `field label is string`
+}
+
+//lint:slab
+type withSlice struct {
+	items []uint32 // want `field items is \[\]uint32`
+}
+
+//lint:slab
+type withMap struct {
+	index map[uint32]uint32 // want `field index is map\[uint32\]uint32`
+}
+
+// inner hides its pointer one level down; the finding names the path.
+type inner struct {
+	next *inner
+}
+
+//lint:slab
+type nested struct {
+	in inner // want `field in\.next is \*`
+}
+
+//lint:slab
+type withArray struct {
+	refs [4]*int // want `field refs\[\.\.\.\] is \*int`
+}
+
+// pair checks multi-name field flattening: one finding per name.
+//
+//lint:slab
+type pair struct {
+	a, b *uint64 // want `field a is \*uint64` `field b is \*uint64`
+}
+
+// buf is a non-struct slab type, checked as a whole.
+//
+//lint:slab
+type buf []byte // want `slab type buf contains pointer-bearing memory`
+
+// notSlab carries a pointer but no annotation: out of scope.
+type notSlab struct {
+	p *int
+}
+
+// use keeps the unexported fixtures referenced.
+var use = []any{clean{}, withPtr{}, withString{}, withSlice{}, withMap{}, nested{}, withArray{}, pair{}, buf(nil), notSlab{}}

@@ -1,0 +1,106 @@
+// Package fixture exercises the syncdurable analyzer: dropped
+// durability errors in every statement position, the never-fail and
+// read-only exemptions, the rename-without-fsync check, and the
+// suppression grammar. The marker below opts the file in.
+//
+//lint:durable-path analyzer fixture
+package fixture
+
+import (
+	"os"
+	"strings"
+)
+
+// WriteDropped drops every error a checkpoint writer must observe.
+func WriteDropped(path string, data []byte) {
+	f, _ := os.Create(path)
+	f.Write(data) // want `error from f\.Write dropped on a durability path`
+	f.Sync()      // want `error from f\.Sync dropped on a durability path`
+	f.Close()     // want `error from f\.Close dropped on a durability path`
+}
+
+// WriteDeferred defers the close of a written file: the flush error
+// vanishes with the defer.
+func WriteDeferred(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `error from f\.Close dropped on a durability path`
+	_, err = f.Write(data)
+	return err
+}
+
+// WriteBlank discards the error position by assignment.
+func WriteBlank(f *os.File, data []byte) int {
+	n, _ := f.Write(data) // want `error from f\.Write assigned to _ on a durability path`
+	_ = f.Sync()          // want `error from f\.Sync assigned to _ on a durability path`
+	return n
+}
+
+// BuildString writes through strings.Builder, whose writes are
+// documented to never fail: exempt.
+func BuildString(parts []string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+// ReadAll closes a file opened read-only in the same function: a
+// dropped Close error cannot lose written bytes.
+func ReadAll(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return buf, err
+}
+
+// PublishUnsynced renames a file nothing fsynced: the torn-checkpoint
+// hazard the atomic-write protocol exists to prevent.
+func PublishUnsynced(tmp, final string, data []byte) error {
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final) // want `os\.Rename without an fsync in PublishUnsynced`
+}
+
+// PublishSynced is the full protocol — write, sync, close, rename,
+// every error observed — plus one justified suppression on the
+// error-path cleanup close.
+func PublishSynced(tmp, final string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		//lint:durable best-effort cleanup; the write error being returned is the root cause
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// RenameOnly suppresses the fsync check with a justification.
+func RenameOnly(tmp, final string) error {
+	//lint:durable caller synced the file; this helper only publishes
+	return os.Rename(tmp, final)
+}
+
+// BareSuppression shows the directive without a justification: the
+// suppression itself becomes the finding.
+func BareSuppression(f *os.File) {
+	/* want `suppression requires a justification` */ //lint:durable
+	f.Close()
+}

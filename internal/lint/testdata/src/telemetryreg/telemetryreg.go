@@ -1,0 +1,39 @@
+// Package fixture exercises the telemetryreg analyzer against the
+// real registry API: constant-name enforcement, the PR 6 naming
+// convention per metric kind, label-key hygiene, and the
+// whole-program kind/help conflict checks.
+package fixture
+
+import "hitlist6/internal/telemetry"
+
+// Register exercises the per-site naming rules.
+func Register(r *telemetry.Registry, computed string) {
+	r.Counter("probes_sent_total", "probes sent")
+	r.Counter("probes_sent", "missing suffix") // want `counter "probes_sent" must end in _total`
+	r.Gauge("queue_depth", "queued work")
+	r.Gauge("queue_depth_total", "mislabeled") // want `gauge "queue_depth_total" must not end in _total`
+	r.GaugeFunc("heap_bytes", "live heap", heap)
+	r.Histogram("scan_latency_seconds", "probe round trips", nil)
+	r.Histogram("scan_latency", "no unit", nil) // want `histogram "scan_latency" must end in a unit suffix`
+	r.Counter("BadName_total", "camel case")    // want `metric name "BadName_total" violates the snake_case convention`
+	r.Counter(computed, "computed name")        // want `metric name must be a compile-time string constant`
+}
+
+// Labels exercises the label-key rules.
+func Labels(r *telemetry.Registry, computed string) {
+	r.Counter("shards_total", "per shard", telemetry.L("shard", "0"))
+	r.Counter("buckets_total", "reserved key", telemetry.L("le", "0.1")) // want `label key "le" is reserved for histogram buckets`
+	r.Counter("cases_total", "camel key", telemetry.L("ShardID", "0"))   // want `label key "ShardID" violates the snake_case convention`
+	r.Counter("dyn_total", "computed key", telemetry.L(computed, "0"))   // want `label key must be a compile-time string constant`
+}
+
+// Conflicts exercises the whole-program Finish checks: one name, one
+// kind, one help string — anywhere in the run.
+func Conflicts(a, b *telemetry.Registry) {
+	a.Counter("restarts_total", "restarts")
+	b.Gauge("restarts_total", "restarts") // want `gauge "restarts_total" must not end in _total` `metric "restarts_total" re-registered as gauge`
+	a.Gauge("queue_items", "queue depth")
+	b.Gauge("queue_items", "items queued") // want `metric "queue_items" registered with a different help string`
+}
+
+func heap() float64 { return 0 }

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// inspectStack walks f like ast.Inspect but hands the visitor the full
+// ancestor stack (outermost first, not including n itself). Returning
+// false prunes the subtree.
+func inspectStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// calleeFunc resolves a call's target to its *types.Func: package
+// functions, methods, and imported functions alike. Returns nil for
+// builtins, conversions, and calls through function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the named function of the named
+// package (by import path).
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// objOf returns the object an identifier expression refers to, looking
+// through parens. Nil for non-identifiers.
+func objOf(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// enclosingBlock finds the innermost *ast.BlockStmt enclosing n (whose
+// ancestors are stack) along with the index, within the block's
+// statement list, of the statement containing n. Returns (nil, -1) if
+// n is not inside a block.
+func enclosingBlock(stack []ast.Node, n ast.Node) (*ast.BlockStmt, int) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if blk, ok := stack[i].(*ast.BlockStmt); ok {
+			// The statement within blk the stack descends through is the
+			// next element of the stack — or n itself when n is a direct
+			// child of the block.
+			child := n
+			if i+1 < len(stack) {
+				child = stack[i+1]
+			}
+			for j, s := range blk.List {
+				if s == child {
+					return blk, j
+				}
+			}
+			return blk, -1
+		}
+	}
+	return nil, -1
+}
+
+// enclosingFunc returns the innermost function body the stack passes
+// through (FuncDecl or FuncLit), or nil.
+func enclosingFunc(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}

@@ -93,6 +93,7 @@ func Rebin(s *Series, bin time.Duration) (*Series, error) {
 	if s.Bins > 0 {
 		out.Bins = (s.Bins-1)/k + 1
 	}
+	//lint:ordered per-AS rebinning is independent per key; the output is a map
 	for asn, counts := range s.ByAS {
 		coarse := make([]int, out.Bins)
 		for i, n := range counts {
@@ -128,6 +129,7 @@ func (s *Series) Tail(n int) *Series {
 		Complete: n,
 		ByAS:     make(map[asdb.ASN][]int, len(s.ByAS)),
 	}
+	//lint:ordered per-AS window slicing is independent per key; the output is a map
 	for asn, counts := range s.ByAS {
 		if len(counts) <= drop {
 			out.ByAS[asn] = nil

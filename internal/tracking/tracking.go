@@ -225,6 +225,7 @@ func AnalyzeWorkers(c *collector.Collector, db *asdb.DB, geo *geodb.DB, reg *oui
 			}
 			if src != nil {
 				dst.MACs = append(dst.MACs, src.MACs...)
+				//lint:ordered per-vendor count sums commute; the merged map carries no order
 				for v, n := range src.VendorCounts {
 					dst.VendorCounts[v] += n
 				}

@@ -304,6 +304,7 @@ func RenderBackscan(bs *scan.BackscanStats, s *Study) string {
 
 	if s != nil && s.Hitlist != nil {
 		known, novel := 0, 0
+		//lint:ordered commutative known/novel counts; no order reaches the output
 		for p := range bs.AliasedPrefixes {
 			if s.Hitlist.Aliases.Contains(p) {
 				known++
