@@ -81,7 +81,8 @@ type daemon struct {
 	ring   *telemetry.EventRing
 	log    *slog.Logger
 
-	routes    *asdb.DB // nil: outage detection disabled
+	routes    *asdb.DB   // nil: outage detection disabled
+	udp       *udpSource // nil: not ingesting from a socket
 	outWindow int
 	snapPath  string // "": durable snapshots disabled
 
@@ -119,7 +120,7 @@ func (d *daemon) newMux() *http.ServeMux {
 
 func (d *daemon) handleStats(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(buildStats(d.pipe)); err != nil {
+	if err := json.NewEncoder(w).Encode(buildStats(d.pipe, d.udp)); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
@@ -411,12 +412,15 @@ func main() {
 			logger.Error("udp listen", "error", err)
 			os.Exit(1)
 		}
-		logger.Info("ingesting event datagrams", "addr", conn.LocalAddr().String())
+		d.udp = newUDPSource(reg)
+		r := newDatagramReader(conn)
+		logger.Info("ingesting event datagrams",
+			"addr", conn.LocalAddr().String(), "batched", r.batched())
 		d.stopSource = func() { conn.Close() }
 		d.sourceDone = make(chan struct{})
 		go func() {
 			defer close(d.sourceDone)
-			ingestUDP(pipe, conn, &d.badLines, logger)
+			ingestUDP(pipe, conn, r, &d.badLines, logger, d.udp)
 		}()
 	}
 	health.SetReady()
@@ -464,6 +468,7 @@ type snapshotReply struct {
 type statsReply struct {
 	Shards       int                    `json:"shards"`
 	Metrics      ingest.MetricsSnapshot `json:"metrics"`
+	UDP          *udpStatsReply         `json:"udp,omitempty"`
 	UniqueAddrs  int                    `json:"unique_addrs"`
 	UniqueIIDs   int                    `json:"unique_iids"`
 	Observations uint64                 `json:"observations"`
@@ -471,10 +476,11 @@ type statsReply struct {
 	Categories   map[string]uint64      `json:"categories"`
 }
 
-func buildStats(pipe *ingest.Pipeline) statsReply {
+func buildStats(pipe *ingest.Pipeline, udp *udpSource) statsReply {
 	reply := statsReply{
 		Shards:       pipe.NumShards(),
 		Metrics:      pipe.Metrics(),
+		UDP:          udp.statsReply(),
 		UniqueAddrs:  pipe.Store().NumAddrs(),
 		UniqueIIDs:   pipe.Store().NumIIDs(),
 		Observations: pipe.Store().TotalObservations(),
@@ -579,7 +585,7 @@ func ingestLine(b *ingest.Batcher, line []byte, badLines *atomic.Uint64) bool {
 	if len(line) == 0 || line[0] == '#' {
 		return false
 	}
-	ev, err := ingest.ParseEvent(string(line))
+	ev, err := ingest.ParseEventBytes(line)
 	if err != nil {
 		badLines.Add(1)
 		return false
@@ -588,12 +594,20 @@ func ingestLine(b *ingest.Batcher, line []byte, badLines *atomic.Uint64) bool {
 	return true
 }
 
-// ingestDatagram splits one UDP payload into event lines. Splitting a
-// newline-terminated datagram yields an empty trailing fragment, which
-// must not count as a parse error — ingestLine skips blanks.
+// ingestDatagram splits one UDP payload into event lines, walking
+// newlines in place — bytes.Split would allocate a fragment slice per
+// datagram, which at wire rate is a fragment slice per syscall. A
+// newline-terminated datagram's empty trailing fragment must not count
+// as a parse error — ingestLine skips blanks.
 func ingestDatagram(b *ingest.Batcher, buf []byte, badLines *atomic.Uint64) int {
 	added := 0
-	for _, line := range bytes.Split(buf, []byte{'\n'}) {
+	for len(buf) > 0 {
+		var line []byte
+		if nl := bytes.IndexByte(buf, '\n'); nl < 0 {
+			line, buf = buf, nil
+		} else {
+			line, buf = buf[:nl], buf[nl+1:]
+		}
 		if ingestLine(b, line, badLines) {
 			added++
 		}
@@ -619,25 +633,4 @@ func simReplay(pipe *ingest.Pipeline, log *slog.Logger, seed int64, scale float6
 	}
 	stats := ntppool.RunIngest(w, pool, pipe)
 	return stats.Queries
-}
-
-// ingestUDP feeds datagrams into the pipeline until the socket closes
-// (a read error — the shutdown path closes the socket to get here).
-// The final flush makes the last partial batch durable before
-// sourceDone releases the shutdown sequence to checkpoint.
-func ingestUDP(pipe *ingest.Pipeline, conn net.PacketConn, badLines *atomic.Uint64, log *slog.Logger) {
-	b := pipe.NewBatcher()
-	defer b.Flush()
-	buf := make([]byte, 1<<16)
-	for {
-		n, _, err := conn.ReadFrom(buf)
-		if err != nil {
-			log.Info("udp source closed", "error", err)
-			return
-		}
-		ingestDatagram(b, buf[:n], badLines)
-		// Datagram boundaries are natural flush points: the live view
-		// should never lag more than one read behind the wire.
-		b.Flush()
-	}
 }

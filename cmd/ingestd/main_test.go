@@ -66,12 +66,15 @@ func TestStatsCarriesCorpusTelemetry(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	reply := buildStats(pipe)
+	reply := buildStats(pipe, nil)
 	if reply.UniqueAddrs != 2 {
 		t.Fatalf("unique addrs %d, want 2", reply.UniqueAddrs)
 	}
 	if reply.Metrics.CorpusBytes == 0 || reply.Metrics.BytesPerAddr <= 0 {
 		t.Errorf("corpus telemetry missing: %+v", reply.Metrics)
+	}
+	if reply.UDP != nil {
+		t.Errorf("udp block %+v on a daemon with no socket source", reply.UDP)
 	}
 	pipe.Close()
 }

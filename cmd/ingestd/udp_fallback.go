@@ -1,0 +1,12 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package main
+
+import "net"
+
+// newPlatformBatchReader has no batched implementation off Linux (or on
+// 32-bit targets, where syscall.Msghdr's layout differs): the UDP
+// source falls back to the portable single-datagram reader.
+func newPlatformBatchReader(net.PacketConn, int, int) (datagramReader, bool) {
+	return nil, false
+}

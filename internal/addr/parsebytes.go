@@ -1,0 +1,188 @@
+package addr
+
+import "fmt"
+
+// ParseBytes is Parse for a byte slice, built for the wire-speed ingest
+// path: it decodes an IPv6 address straight out of packet bytes with no
+// string conversion and no allocation on any accepted input (errors, a
+// reject-path-only cost, may allocate their message). The accepted
+// grammar is byte-for-byte identical to Parse's — FuzzParseBytes pins
+// that the two parsers agree on accept/reject and on the decoded value
+// for every input — so the two can never drift apart.
+//
+// The implementation walks the bytes once per region (head groups, gap,
+// tail groups) with fixed-size group buffers instead of strings.Split's
+// intermediate slices.
+func ParseBytes(b []byte) (Addr, error) {
+	var a Addr
+	if len(b) == 0 {
+		return a, fmt.Errorf("addr: empty address")
+	}
+	// Zones and brackets are rejected wholesale, as in Parse. These are
+	// ASCII bytes, so a byte scan is exact even on UTF-8 input.
+	for _, c := range b {
+		if c == '%' || c == '[' || c == ']' {
+			return a, fmt.Errorf("addr: zones/brackets not supported: %q", b)
+		}
+	}
+	// Locate the "::" gap with strings.Split's non-overlapping scan:
+	// the first occurrence splits; a second occurrence in the remainder
+	// means three-plus parts, which Parse rejects.
+	gap := -1
+	for i := 0; i+1 < len(b); i++ {
+		if b[i] == ':' && b[i+1] == ':' {
+			if gap < 0 {
+				gap = i
+				i++ // continue the scan after the matched pair
+				continue
+			}
+			return a, fmt.Errorf("addr: multiple '::' in %q", b)
+		}
+	}
+	head, tail := b, []byte(nil)
+	hasGap := gap >= 0
+	if hasGap {
+		head, tail = b[:gap], b[gap+2:]
+	}
+
+	var hg, tg [8]uint16
+	hn, err := parseGroupsBytes(head, b, !hasGap, &hg)
+	if err != nil {
+		return a, err
+	}
+	tn, err := parseGroupsBytes(tail, b, true, &tg)
+	if err != nil {
+		return a, err
+	}
+	total := hn + tn
+	if hasGap {
+		if total >= 8 {
+			return a, fmt.Errorf("addr: '::' with full groups in %q", b)
+		}
+	} else if total != 8 {
+		return a, fmt.Errorf("addr: need 8 groups, got %d in %q", total, b)
+	}
+	for i := 0; i < hn; i++ {
+		a[2*i] = byte(hg[i] >> 8)
+		a[2*i+1] = byte(hg[i])
+	}
+	for i := 0; i < tn; i++ {
+		pos := 8 - tn + i
+		a[2*pos] = byte(tg[i] >> 8)
+		a[2*pos+1] = byte(tg[i])
+	}
+	return a, nil
+}
+
+// parseGroupsBytes parses a colon-separated group list into dst and
+// returns the group count. allowV4 permits a dotted-quad as the final
+// field (consuming two groups), mirroring Parse's parseGroups. whole is
+// the full address, for error text only.
+func parseGroupsBytes(s, whole []byte, allowV4 bool, dst *[8]uint16) (int, error) {
+	if len(s) == 0 {
+		return 0, nil
+	}
+	n := 0
+	start := 0
+	for {
+		end := start
+		dotted := false
+		for end < len(s) && s[end] != ':' {
+			if s[end] == '.' {
+				dotted = true
+			}
+			end++
+		}
+		f := s[start:end]
+		last := end == len(s)
+		if dotted {
+			// Embedded IPv4: must be the final field of the region.
+			if !allowV4 || !last {
+				return 0, fmt.Errorf("addr: misplaced IPv4 in %q", whole)
+			}
+			v4, err := parseIPv4Bytes(f)
+			if err != nil {
+				return 0, err
+			}
+			if n+2 > 8 {
+				return 0, fmt.Errorf("addr: need 8 groups, got more in %q", whole)
+			}
+			dst[n] = uint16(v4 >> 16)
+			dst[n+1] = uint16(v4)
+			n += 2
+		} else {
+			if len(f) == 0 {
+				return 0, fmt.Errorf("addr: empty group in %q", whole)
+			}
+			if len(f) > 4 {
+				return 0, fmt.Errorf("addr: group too long in %q", whole)
+			}
+			var v uint32
+			for _, c := range f {
+				d := hexDigit(c)
+				if d < 0 {
+					return 0, fmt.Errorf("addr: bad group %q in %q", f, whole)
+				}
+				v = v<<4 | uint32(d)
+			}
+			if n >= 8 {
+				return 0, fmt.Errorf("addr: need 8 groups, got more in %q", whole)
+			}
+			dst[n] = uint16(v)
+			n++
+		}
+		if last {
+			return n, nil
+		}
+		start = end + 1
+	}
+}
+
+// parseIPv4Bytes decodes a dotted-quad exactly as Parse's parseIPv4
+// does via strconv.ParseUint(octet, 10, 8): exactly four octets, digits
+// only, any number of leading zeros, value at most 255.
+func parseIPv4Bytes(f []byte) (uint32, error) {
+	var v uint32
+	octets := 0
+	start := 0
+	for i := 0; i <= len(f); i++ {
+		if i < len(f) && f[i] != '.' {
+			continue
+		}
+		o := f[start:i]
+		start = i + 1
+		octets++
+		if octets > 4 || len(o) == 0 {
+			return 0, fmt.Errorf("addr: bad IPv4 %q", f)
+		}
+		var n uint32
+		for _, c := range o {
+			if c < '0' || c > '9' {
+				return 0, fmt.Errorf("addr: bad IPv4 octet %q", o)
+			}
+			n = n*10 + uint32(c-'0')
+			if n > 255 {
+				return 0, fmt.Errorf("addr: bad IPv4 octet %q", o)
+			}
+		}
+		v = v<<8 | n
+	}
+	if octets != 4 {
+		return 0, fmt.Errorf("addr: bad IPv4 %q", f)
+	}
+	return v, nil
+}
+
+// hexDigit returns the value of an ASCII hex digit, or -1. Exactly the
+// digit set strconv.ParseUint(s, 16, 16) accepts: 0-9, a-f, A-F.
+func hexDigit(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}

@@ -1,0 +1,71 @@
+package addr
+
+import "testing"
+
+// FuzzParseBytes pins ParseBytes to Parse: the byte parser and the
+// string parser must agree on accept/reject and on the decoded address
+// for every input. This is the invariant that lets the wire-speed
+// ingest path decode addresses straight from packet bytes without a
+// second grammar creeping in.
+//
+// Run continuously with:
+//
+//	go test ./internal/addr -run '^$' -fuzz '^FuzzParseBytes$' -fuzztime 30s
+func FuzzParseBytes(f *testing.F) {
+	for _, seed := range []string{
+		"", "::", "::1", "2001:db8::1", "2001:0db8:0000:0000:0000:0000:0000:0001",
+		"1:2:3:4:5:6:7:8", "1:2:3:4:5:6:7:8:9", "1::2::3", "a:::b", "a::::b",
+		"::ffff:192.0.2.1", "1:2:3:4:5:6:1.2.3.4", "::1.2.3.4.5", "::0.0.0.000000001",
+		"::256.1.1.1", "fe80::1%eth0", "[::1]", "2001:DB8::A", "12345::", ":::",
+		"1::", "::%", "0x1::", "1_0::", "1.2.3.4", "::ffff:1.2..3",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, gotErr := ParseBytes(data)
+		want, wantErr := Parse(string(data))
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("ParseBytes(%q) err=%v, Parse err=%v: accept/reject drift", data, gotErr, wantErr)
+		}
+		if gotErr == nil && got != want {
+			t.Fatalf("ParseBytes(%q) = %v, Parse = %v", data, got, want)
+		}
+	})
+}
+
+// TestParseBytesTable spells out the corners the fuzz property covers
+// statistically: compression, embedded IPv4 (with the leading-zero and
+// misplacement quirks of the reference parser), double-gap rejection,
+// and case-insensitive hex.
+func TestParseBytesTable(t *testing.T) {
+	accept := []string{
+		"::", "::1", "1::", "2001:db8::1", "2001:DB8::a",
+		"1:2:3:4:5:6:7:8", "::ffff:192.0.2.1", "1:2:3:4:5:6:1.2.3.4",
+		"::0.0.0.000000001", "0:0:0:0:0:0:0:0",
+	}
+	for _, s := range accept {
+		got, err := ParseBytes([]byte(s))
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", s, err)
+			continue
+		}
+		if want := MustParse(s); got != want {
+			t.Errorf("ParseBytes(%q) = %v, want %v", s, got, want)
+		}
+	}
+	reject := []string{
+		"", ":", ":::", "1::2::3", "a::::b", "1:2:3:4:5:6:7:8:9",
+		"1:2:3:4:5:6:7", "12345::", "g::", "0x1::", "1_0::",
+		"fe80::1%eth0", "[::1]", "::256.1.1.1", "::1.2.3", "::1.2.3.4.5",
+		"1.2.3.4::5:6:7:8", "1:2:3:4:5:6:7:1.2.3.4", "::ffff:1.2..3",
+		"2001:db8::1 ", " ::1",
+	}
+	for _, s := range reject {
+		if a, err := ParseBytes([]byte(s)); err == nil {
+			t.Errorf("ParseBytes(%q) accepted: %v", s, a)
+		}
+		if _, err := Parse(s); err == nil {
+			t.Errorf("reference Parse(%q) accepted — reject table is wrong", s)
+		}
+	}
+}

@@ -40,6 +40,23 @@ type Config struct {
 	// true sheds the batch and counts it in Metrics.Dropped, which is
 	// what a live UDP collector wants instead of kernel buffer bloat.
 	DropOnFull bool
+	// ShardQueue selects the producer→worker queue implementation:
+	// "chan" (the default) is a buffered channel and supports any number
+	// of concurrent producers; "spsc" is a lock-free single-producer
+	// ring (see spscRing) whose fast path is two atomic operations
+	// instead of a channel send — the wire-speed choice for a daemon
+	// whose sources are single reader loops. "spsc" REQUIRES that at
+	// most one goroutine feeds the pipeline (one Batcher, or serialized
+	// Ingest calls); concurrent producers on an spsc pipeline are a data
+	// race. Both queues preserve the pipeline's result exactly — the
+	// shard-equivalence suite runs under each.
+	ShardQueue string
+	// PinCPUs pins each shard worker's OS thread to a CPU (round-robin
+	// over the machine's CPUs) for cache locality at sustained line
+	// rate. Linux-only; elsewhere, and on kernels that refuse the
+	// affinity call, it degrades to a no-op counted in
+	// ingest_pin_errors_total.
+	PinCPUs bool
 	// SnapshotInterval is how often shard snapshots are merged into the
 	// live Store view. 0 disables periodic snapshots: the store is then
 	// only populated by SnapshotNow and Close. Replay-style batch runs
@@ -113,6 +130,13 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.QueueDepth < 0 {
 		return fmt.Errorf("ingest: QueueDepth %d negative", c.QueueDepth)
+	}
+	switch c.ShardQueue {
+	case "":
+		c.ShardQueue = "chan"
+	case "chan", "spsc":
+	default:
+		return fmt.Errorf("ingest: ShardQueue %q not one of chan, spsc", c.ShardQueue)
 	}
 	if c.ServerCap == 0 {
 		c.ServerCap = collector.MaxServers

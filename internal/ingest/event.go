@@ -1,9 +1,11 @@
 package ingest
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
-	"strings"
+	"unicode"
+	"unicode/utf8"
 
 	"hitlist6/internal/addr"
 	"hitlist6/internal/collector"
@@ -28,59 +30,129 @@ func shardOf(a addr.Addr, shards int) int {
 	return int(a.Hash64() % uint64(shards))
 }
 
-// strictInt parses a decimal integer the way the codec writes one: an
-// optional leading '-', then digits, nothing else. strconv.ParseInt is
-// deliberately not used directly — it also accepts a leading '+' and an
-// explicit "-0", neither of which AppendText ever emits, and a wire
-// codec that accepts what it never writes invites silent producer
-// drift (found by FuzzParseEvent's round-trip property).
-func strictInt(s string, bitSize int) (int64, error) {
-	neg := strings.HasPrefix(s, "-")
+// Reject-path sentinels for the strict decimal parser. Allocated once:
+// the wire parser must not allocate even when fed garbage at line rate.
+var (
+	errNotDecimal   = errors.New("not a decimal integer")
+	errNegativeZero = errors.New("negative zero")
+	errOutOfRange   = errors.New("value out of range")
+)
+
+// strictIntBytes parses a decimal integer the way the codec writes one:
+// an optional leading '-', then digits, nothing else, value in the
+// signed bitSize range. strconv.ParseInt is deliberately not used — it
+// also accepts a leading '+' and an explicit "-0", neither of which
+// AppendText ever emits, and a wire codec that accepts what it never
+// writes invites silent producer drift (found by FuzzParseEvent's
+// round-trip property). Allocation-free on every path.
+func strictIntBytes(s []byte, bitSize int) (int64, error) {
+	neg := len(s) > 0 && s[0] == '-'
 	digits := s
 	if neg {
 		digits = s[1:]
 	}
-	if digits == "" || strings.TrimLeft(digits, "0123456789") != "" {
-		return 0, fmt.Errorf("not a decimal integer")
+	if len(digits) == 0 {
+		return 0, errNotDecimal
 	}
-	v, err := strconv.ParseInt(s, 10, bitSize)
-	if err != nil {
-		return 0, err
+	// The magnitude limit: 2^(bitSize-1) for negative values, one less
+	// for positive — exactly ParseInt's range.
+	limit := uint64(1) << (bitSize - 1)
+	if !neg {
+		limit--
 	}
-	// By value, not spelling: catches "-0", "-00", "-0000…" alike.
-	if neg && v == 0 {
-		return 0, fmt.Errorf("negative zero")
+	var v uint64
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, errNotDecimal
+		}
+		d := uint64(c - '0')
+		if v > limit/10 || (v == limit/10 && d > limit%10) {
+			return 0, errOutOfRange
+		}
+		v = v*10 + d
 	}
-	return v, nil
+	if neg {
+		// By value, not spelling: catches "-0", "-00", "-0000…" alike.
+		if v == 0 {
+			return 0, errNegativeZero
+		}
+		// -v is correct even at the 2^63 boundary, where int64(v) alone
+		// would already be MinInt64.
+		return -int64(v), nil
+	}
+	return int64(v), nil
 }
 
-// ParseEvent decodes the pipeline's text framing, one event per line:
+// asciiSpace mirrors strings.Fields' ASCII whitespace set.
+var asciiSpace = [256]uint8{'\t': 1, '\n': 1, '\v': 1, '\f': 1, '\r': 1, ' ': 1}
+
+// ParseEventBytes decodes the pipeline's text framing straight from
+// packet bytes, one event per line:
 //
 //	<unix-seconds> <ipv6-address> [<server-index>]
 //
 // A missing server index means no vantage attribution (-1). This is the
-// format `ingestd` accepts on files, stdin and UDP datagrams. The
-// parser is strict: exactly the bytes AppendText emits round-trip, and
-// every accepted line re-encodes to a line that parses to the same
-// event (FuzzParseEvent pins both directions, and that the parser never
-// panics on arbitrary input).
-func ParseEvent(line string) (Event, error) {
+// format `ingestd` accepts on files, stdin and UDP datagrams, and the
+// hot-path form of the parser: field splitting, strict decimal decoding
+// and address decoding all work on the input bytes in place, with zero
+// allocation on every accepted input (BenchmarkParseEventBytes pins 0
+// allocs/op). The parser is strict: exactly the bytes AppendText emits
+// round-trip, and every accepted line re-encodes to a line that parses
+// to the same event. Field separation follows strings.Fields (runs of
+// Unicode whitespace), so the byte parser and the historical string
+// parser agree on every input — FuzzParseEventBytes pins the
+// equivalence.
+func ParseEventBytes(line []byte) (Event, error) {
 	var ev Event
-	fields := strings.Fields(line)
-	if len(fields) < 2 || len(fields) > 3 {
+	var fields [3][]byte
+	nf := 0
+	for i := 0; i < len(line); {
+		// Skip whitespace. ASCII bytes take the table; multi-byte runes
+		// go through the same unicode.IsSpace test strings.Fields uses.
+		if c := line[i]; c < utf8.RuneSelf {
+			if asciiSpace[c] == 1 {
+				i++
+				continue
+			}
+		} else if r, w := utf8.DecodeRune(line[i:]); unicode.IsSpace(r) {
+			i += w
+			continue
+		}
+		start := i
+		for i < len(line) {
+			if c := line[i]; c < utf8.RuneSelf {
+				if asciiSpace[c] == 1 {
+					break
+				}
+				i++
+				continue
+			}
+			r, w := utf8.DecodeRune(line[i:])
+			if unicode.IsSpace(r) {
+				break
+			}
+			i += w
+		}
+		if nf == len(fields) {
+			return ev, fmt.Errorf("ingest: want 'ts addr [server]', got %q", line)
+		}
+		fields[nf] = line[start:i]
+		nf++
+	}
+	if nf < 2 {
 		return ev, fmt.Errorf("ingest: want 'ts addr [server]', got %q", line)
 	}
-	ts, err := strictInt(fields[0], 64)
+	ts, err := strictIntBytes(fields[0], 64)
 	if err != nil {
 		return ev, fmt.Errorf("ingest: bad timestamp %q: %v", fields[0], err)
 	}
-	a, err := addr.Parse(fields[1])
+	a, err := addr.ParseBytes(fields[1])
 	if err != nil {
 		return ev, err
 	}
 	server := int64(-1)
-	if len(fields) == 3 {
-		server, err = strictInt(fields[2], 32)
+	if nf == 3 {
+		server, err = strictIntBytes(fields[2], 32)
 		if err != nil {
 			return ev, fmt.Errorf("ingest: bad server %q: %v", fields[2], err)
 		}
@@ -93,6 +165,14 @@ func ParseEvent(line string) (Event, error) {
 		}
 	}
 	return Event{Addr: a, Time: ts, Server: int32(server)}, nil
+}
+
+// ParseEvent is ParseEventBytes for a string — a thin wrapper kept for
+// callers that already hold one. The hot ingest paths call
+// ParseEventBytes directly on the packet bytes and never pay this
+// conversion.
+func ParseEvent(line string) (Event, error) {
+	return ParseEventBytes([]byte(line))
 }
 
 // AppendText appends the event in ParseEvent's line format (with

@@ -1,0 +1,148 @@
+package ingest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hitlist6/internal/addr"
+	"hitlist6/internal/collector"
+)
+
+// parseEventLegacy is the pre-wire-speed string parser, kept verbatim
+// as the reference grammar: strings.Fields splitting, strconv-backed
+// strict decimals, addr.Parse. FuzzParseEventBytes holds the
+// zero-allocation byte parser to it on every input — the byte walk may
+// be faster, but it may not accept or decode anything differently.
+func parseEventLegacy(line string) (Event, error) {
+	strictInt := func(s string, bitSize int) (int64, error) {
+		neg := strings.HasPrefix(s, "-")
+		digits := s
+		if neg {
+			digits = s[1:]
+		}
+		if digits == "" || strings.TrimLeft(digits, "0123456789") != "" {
+			return 0, fmt.Errorf("not a decimal integer")
+		}
+		v, err := strconv.ParseInt(s, 10, bitSize)
+		if err != nil {
+			return 0, err
+		}
+		if neg && v == 0 {
+			return 0, fmt.Errorf("negative zero")
+		}
+		return v, nil
+	}
+	var ev Event
+	fields := strings.Fields(line)
+	if len(fields) < 2 || len(fields) > 3 {
+		return ev, fmt.Errorf("ingest: want 'ts addr [server]', got %q", line)
+	}
+	ts, err := strictInt(fields[0], 64)
+	if err != nil {
+		return ev, fmt.Errorf("ingest: bad timestamp %q: %v", fields[0], err)
+	}
+	a, err := addr.Parse(fields[1])
+	if err != nil {
+		return ev, err
+	}
+	server := int64(-1)
+	if len(fields) == 3 {
+		server, err = strictInt(fields[2], 32)
+		if err != nil {
+			return ev, fmt.Errorf("ingest: bad server %q: %v", fields[2], err)
+		}
+		if server < -1 || server >= collector.MaxServers {
+			return ev, fmt.Errorf("ingest: server index %d out of [-1,%d)", server, collector.MaxServers)
+		}
+	}
+	return Event{Addr: a, Time: ts, Server: int32(server)}, nil
+}
+
+// FuzzParseEventBytes is the differential property of the wire-speed
+// parser: on every input, ParseEventBytes must agree with the legacy
+// string parser on accept/reject and on the decoded Event, and the
+// ParseEvent wrapper must agree with both. (FuzzParseEvent separately
+// pins the round-trip property; this fuzz pins that the byte rewrite
+// changed nothing but the allocation count.)
+//
+// Run continuously with:
+//
+//	go test ./internal/ingest -run '^$' -fuzz '^FuzzParseEventBytes$' -fuzztime 30s
+func FuzzParseEventBytes(f *testing.F) {
+	for _, seed := range []string{
+		"1643068800 2001:db8::1 3",
+		"1643068800 2001:db8::1",
+		" 1643068800\t2001:db8::1 ",
+		"1643068800 ::ffff:192.0.2.1 1",
+		"-9223372036854775808 :: -1",
+		"9223372036854775807 ff02::fb 26",
+		"9223372036854775808 ::",
+		"-0 :: 0",
+		"007 2001:db8::1 031",
+		"1 2001:db8::1 +3",
+		"1 2001:db8::1",  // non-ASCII whitespace separator
+		"1 2001:db8::1 ", // non-ASCII trailing whitespace
+		"1 2001:db8::1 2 3",
+		"\xff\xfe 2001:db8::1",
+		"   ",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, gotErr := ParseEventBytes(data)
+		want, wantErr := parseEventLegacy(string(data))
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("ParseEventBytes(%q) err=%v, legacy err=%v: accept/reject drift", data, gotErr, wantErr)
+		}
+		if gotErr == nil && got != want {
+			t.Fatalf("ParseEventBytes(%q) = %+v, legacy = %+v", data, got, want)
+		}
+		wrapped, wrappedErr := ParseEvent(string(data))
+		if (wrappedErr == nil) != (gotErr == nil) || wrapped != got {
+			t.Fatalf("ParseEvent(%q) = %+v (err=%v) disagrees with ParseEventBytes (%+v, err=%v)",
+				data, wrapped, wrappedErr, got, gotErr)
+		}
+	})
+}
+
+// TestParseEventBytesZeroAlloc pins the headline property of the wire
+// parser: decoding a valid event line from bytes allocates nothing —
+// not for the fields, not for the address, not for the timestamp. (The
+// race detector changes allocation behavior, so the exact-zero claim is
+// only asserted in non-race runs; BenchmarkParseEventBytes reports the
+// same number under -benchmem.)
+func TestParseEventBytesZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not exact under -race")
+	}
+	lines := [][]byte{
+		[]byte("1643068800 2001:db8::1 3"),
+		[]byte("1643068800 2001:0db8:85a3:0000:0000:8a2e:0370:7334"),
+		[]byte("1643068800 ::ffff:192.0.2.1 26"),
+	}
+	for _, line := range lines {
+		avg := testing.AllocsPerRun(100, func() {
+			if _, err := ParseEventBytes(line); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("ParseEventBytes(%q): %.1f allocs/op, want 0", line, avg)
+		}
+	}
+	// The reject path keeps its informative error messages (callers
+	// sample-log them against the badLines counter), so it does allocate
+	// — but only a bounded handful for the fmt.Errorf wrap, never
+	// per-field or per-byte work proportional to the input.
+	bad := []byte("99999999999999999999999999 2001:db8::1")
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := ParseEventBytes(bad); err == nil {
+			t.Fatal("accepted overflow timestamp")
+		}
+	})
+	if avg > 8 {
+		t.Errorf("reject path: %.1f allocs/op, want a small constant", avg)
+	}
+}

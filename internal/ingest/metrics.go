@@ -2,7 +2,6 @@ package ingest
 
 import (
 	"strconv"
-	"sync"
 	"time"
 
 	"hitlist6/internal/telemetry"
@@ -25,8 +24,11 @@ type Metrics struct {
 	checkpointErrors    *telemetry.Counter
 	lastCheckpointUnix  *telemetry.Gauge
 	lastCheckpointBytes *telemetry.Gauge
-	start               time.Time
-	recent              rateWindow
+	// pinErrors counts shard workers that asked for CPU affinity and
+	// didn't get it (non-Linux platform, restrictive cgroup).
+	pinErrors *telemetry.Counter
+	start     time.Time
+	recent    telemetry.RateWindow
 }
 
 // pipelineTelemetry is the per-shard/per-stage instrumentation beyond
@@ -67,6 +69,7 @@ func (p *Pipeline) initTelemetry(reg *telemetry.Registry) {
 	m.checkpointErrors = reg.Counter("ingest_checkpoint_errors_total", "Failed checkpoint attempts.")
 	m.lastCheckpointUnix = reg.Gauge("ingest_last_checkpoint_unix", "Unix time of the newest good checkpoint.")
 	m.lastCheckpointBytes = reg.Gauge("ingest_last_checkpoint_bytes", "Size of the newest good checkpoint.")
+	m.pinErrors = reg.Counter("ingest_pin_errors_total", "Shard workers whose CPU-affinity request failed.")
 
 	t := &p.tel
 	t.enabled = !p.cfg.noHotPathTelemetry
@@ -90,10 +93,10 @@ func (p *Pipeline) initTelemetry(reg *telemetry.Registry) {
 			"Events folded, per shard.", shard)
 		t.queueHighWater[i] = reg.Gauge("ingest_queue_high_water",
 			"Deepest queue depth seen, in batches, per shard.", shard)
-		in := s.in
+		sh := s
 		reg.GaugeFunc("ingest_queue_depth",
 			"Current queue depth in batches, per shard.",
-			func() float64 { return float64(len(in)) }, shard)
+			func() float64 { return float64(sh.queueDepth()) }, shard)
 	}
 
 	t.stageSeconds = make([]*telemetry.Histogram, len(p.mergedStages))
@@ -141,53 +144,6 @@ type MetricsSnapshot struct {
 	LastCheckpointBytes uint64 `json:"last_checkpoint_bytes,omitempty"`
 }
 
-// rateWindow derives a recent-window rate from (time, counter) samples
-// taken at each Metrics call, pruned to the trailing span.
-type rateWindow struct {
-	mu      sync.Mutex
-	samples []rateSample
-}
-
-type rateSample struct {
-	at        time.Time
-	processed uint64
-}
-
-// rateWindowSpan bounds how far back the recent rate looks. Samples are
-// taken on Metrics() calls, so the effective window is the larger of the
-// caller's polling interval and this span.
-const rateWindowSpan = 60 * time.Second
-
-// maxRateSamples caps the sample buffer against pathological polling.
-const maxRateSamples = 256
-
-// tick records a sample and returns the rate across the retained window;
-// ok is false until two samples span a measurable interval.
-func (w *rateWindow) tick(now time.Time, processed uint64) (rate float64, ok bool) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.samples = append(w.samples, rateSample{at: now, processed: processed})
-	// Drop samples that fell out of the window (always keeping the two
-	// newest so a slow poller still gets its last interval), and bound
-	// the buffer.
-	cut := 0
-	for cut < len(w.samples)-2 && now.Sub(w.samples[cut+1].at) >= rateWindowSpan {
-		cut++
-	}
-	if over := len(w.samples) - maxRateSamples; over > cut {
-		cut = over
-	}
-	if cut > 0 {
-		w.samples = append(w.samples[:0], w.samples[cut:]...)
-	}
-	oldest := w.samples[0]
-	dt := now.Sub(oldest.at).Seconds()
-	if dt <= 0 || processed < oldest.processed {
-		return 0, false
-	}
-	return float64(processed-oldest.processed) / dt, true
-}
-
 // Metrics returns a point-in-time reading of the counter block.
 // QueuedBatches sums the current depth of every shard queue (the
 // backpressure signal). Each call contributes a sample to the recent-
@@ -196,7 +152,7 @@ func (w *rateWindow) tick(now time.Time, processed uint64) (rate float64, ok boo
 func (p *Pipeline) Metrics() MetricsSnapshot {
 	depth := 0
 	for _, s := range p.shards {
-		depth += len(s.in)
+		depth += s.queueDepth()
 	}
 	now := time.Now()
 	processed := p.metrics.processed.Value()
@@ -205,7 +161,7 @@ func (p *Pipeline) Metrics() MetricsSnapshot {
 	if elapsed > 0 {
 		rate = float64(processed) / elapsed
 	}
-	recent, ok := p.metrics.recent.tick(now, processed)
+	recent, ok := p.metrics.recent.Tick(now, processed)
 	if !ok {
 		// One sample (or a clock hiccup): the lifetime average is the
 		// best recent estimate there is.

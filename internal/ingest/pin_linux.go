@@ -1,0 +1,35 @@
+//go:build linux
+
+package ingest
+
+import (
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// pinToCPU locks the calling goroutine to its OS thread and binds that
+// thread to one CPU (idx taken round-robin over the machine's CPUs).
+// Pinning keeps a shard worker's collector state hot in one core's
+// cache at sustained line rate instead of migrating with the
+// scheduler. The thread stays locked for the goroutine's lifetime —
+// shard workers run to pipeline Close, so nothing leaks.
+//
+// Raw sched_setaffinity(2): the stdlib syscall package exposes the
+// number but no wrapper, and the mask is a plain bit array — 1024 CPUs
+// worth, the kernel's historical cpu_set_t size.
+func pinToCPU(idx int) error {
+	cpu := idx % runtime.NumCPU()
+	runtime.LockOSThread()
+	var mask [16]uint64
+	mask[cpu/64] = 1 << (cpu % 64)
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, // 0 = this thread
+		uintptr(len(mask)*8),
+		uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		runtime.UnlockOSThread()
+		return errno
+	}
+	return nil
+}

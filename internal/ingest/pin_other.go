@@ -1,0 +1,11 @@
+//go:build !linux
+
+package ingest
+
+import "errors"
+
+// pinToCPU is Linux-only; elsewhere Config.PinCPUs degrades to a no-op
+// counted in ingest_pin_errors_total.
+func pinToCPU(int) error {
+	return errors.New("cpu pinning unsupported on this platform")
+}

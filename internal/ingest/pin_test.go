@@ -1,0 +1,28 @@
+package ingest
+
+import "testing"
+
+// TestPinCPUsPipeline runs a pinned pipeline end to end. Affinity may
+// legitimately be refused (non-Linux, seccomp-restricted containers) —
+// the contract is that PinCPUs never affects results, only placement,
+// with failures surfaced through the ingest_pin_errors_total counter
+// rather than through the event path.
+func TestPinCPUsPipeline(t *testing.T) {
+	events := testEvents(t, 0.02, 4)
+	cfg := DefaultConfig(2)
+	cfg.PinCPUs = true
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Ingest(events)
+	merged := p.Close()
+	if merged.TotalObservations() != uint64(len(events)) {
+		t.Errorf("observations %d, want %d", merged.TotalObservations(), len(events))
+	}
+	if n := p.metrics.pinErrors.Value(); n > uint64(p.NumShards()) {
+		t.Errorf("pinErrors %d exceeds shard count %d", n, p.NumShards())
+	} else if n > 0 {
+		t.Logf("pinning unavailable here: %d/%d workers unpinned", n, p.NumShards())
+	}
+}

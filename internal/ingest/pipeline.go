@@ -42,18 +42,58 @@ type Pipeline struct {
 	closeOnce sync.Once
 	result    *collector.Collector
 
-	batchPool sync.Pool
+	// free recycles batch backing arrays between producers and workers.
+	// A plain channel, not a sync.Pool: Put-ting a slice into a Pool
+	// boxes the slice header into an interface — one heap allocation per
+	// batch, exactly the garbage the recycling exists to avoid. A
+	// buffered channel of slice headers allocates nothing in steady
+	// state; when it runs empty the producer falls back to make.
+	free chan []Event
 }
 
-// shard is one worker's private world: its inbound batch queue, a
-// snapshot doorbell, and the lock-free state it owns. idx is the
-// shard's index, the label its telemetry series carry.
+// shard is one worker's private world: its inbound batch queue (a
+// buffered channel or an spsc ring, per Config.ShardQueue), a snapshot
+// doorbell, and the lock-free state it owns. idx is the shard's index,
+// the label its telemetry series carry.
 type shard struct {
 	idx    int
-	in     chan []Event
+	in     chan []Event // ShardQueue "chan"; nil when ring is set
+	ring   *spscRing    // ShardQueue "spsc"; nil when in is set
 	snap   chan chan struct{}
 	col    *collector.Collector
 	stages []Stage
+}
+
+// queueDepth reports the shard queue's current depth in batches,
+// whichever queue kind backs it.
+func (s *shard) queueDepth() int {
+	if s.ring != nil {
+		return s.ring.len()
+	}
+	return len(s.in)
+}
+
+// enqueue hands a batch to the shard with blocking admission.
+func (s *shard) enqueue(batch []Event) {
+	if s.ring != nil {
+		s.ring.push(batch)
+		return
+	}
+	s.in <- batch
+}
+
+// tryEnqueue hands a batch to the shard without blocking; reports
+// whether the queue accepted it.
+func (s *shard) tryEnqueue(batch []Event) bool {
+	if s.ring != nil {
+		return s.ring.tryPush(batch)
+	}
+	select {
+	case s.in <- batch:
+		return true
+	default:
+		return false
+	}
 }
 
 // shardSnapshot is the unit handed to the merger goroutine. A non-nil
@@ -86,9 +126,9 @@ func New(cfg Config) (*Pipeline, error) {
 		cfg.Seed = nil
 		p.cfg.Seed = nil
 	}
-	p.batchPool.New = func() any {
-		return make([]Event, 0, cfg.BatchSize)
-	}
+	// Enough recycled batches for every queue slot plus one in flight on
+	// each side; beyond that, putBatch lets extras go to the GC.
+	p.free = make(chan []Event, cfg.Shards*(cfg.QueueDepth+2))
 	p.mergedStages = make([]Stage, len(cfg.Stages))
 	for i, f := range cfg.Stages {
 		p.mergedStages[i] = f()
@@ -97,9 +137,13 @@ func New(cfg Config) (*Pipeline, error) {
 	for i := range p.shards {
 		s := &shard{
 			idx:  i,
-			in:   make(chan []Event, cfg.QueueDepth),
 			snap: make(chan chan struct{}, 1),
 			col:  collector.New(),
+		}
+		if cfg.ShardQueue == "spsc" {
+			s.ring = newSPSCRing(cfg.QueueDepth)
+		} else {
+			s.in = make(chan []Event, cfg.QueueDepth)
 		}
 		s.stages = make([]Stage, len(cfg.Stages))
 		for j, f := range cfg.Stages {
@@ -142,9 +186,21 @@ func (p *Pipeline) Registry() *telemetry.Registry { return p.registry }
 func (p *Pipeline) NumShards() int { return len(p.shards) }
 
 // runShard is one worker loop: drain batches, fold events, answer
-// snapshot doorbells.
+// snapshot doorbells. The channel and ring queues get separate loops —
+// the channel loop is a plain select, the ring loop implements the
+// sleep/wake protocol — so the chan-vs-spsc benchmark compares queue
+// mechanics, not loop rewrites.
 func (p *Pipeline) runShard(s *shard) {
 	defer p.workersWG.Done()
+	if p.cfg.PinCPUs {
+		if err := pinToCPU(s.idx); err != nil {
+			p.metrics.pinErrors.Add(1)
+		}
+	}
+	if s.ring != nil {
+		p.runShardRing(s)
+		return
+	}
 	for {
 		select {
 		case batch, ok := <-s.in:
@@ -182,6 +238,72 @@ func (p *Pipeline) runShard(s *shard) {
 			close(done)
 		}
 	}
+}
+
+// runShardRing is the worker loop over an spsc ring. Fast path: spin
+// tryPop and fold. Empty: answer any pending snapshot doorbell, then
+// park under the ring's sleep/wake protocol — publish sleep intent,
+// re-check for work that raced the declaration, and only then block on
+// the doorbells. Shutdown mirrors the channel loop: once the ring is
+// closed and drained, push the final state and exit.
+func (p *Pipeline) runShardRing(s *shard) {
+	r := s.ring
+	for {
+		if batch, ok := r.tryPop(); ok {
+			p.processBatch(s, batch)
+			continue
+		}
+		select {
+		case done := <-s.snap:
+			p.snapshotShard(s, done)
+			continue
+		default:
+		}
+		if r.closed.Load() {
+			if batch, ok := r.tryPop(); ok {
+				// A push slipped in between the empty tryPop and the
+				// closed check; fold it before finishing.
+				p.processBatch(s, batch)
+				continue
+			}
+			p.merge <- shardSnapshot{col: s.col, stages: s.stages}
+			s.col, s.stages = nil, nil
+			return
+		}
+		r.sleeping.Store(true)
+		if r.len() != 0 || r.closed.Load() {
+			// Work (or shutdown) raced our sleep declaration: take the
+			// flag back and go around.
+			r.sleeping.Store(false)
+			continue
+		}
+		select {
+		case <-r.notify:
+			// wake() already cleared sleeping when it sent the token.
+		case done := <-s.snap:
+			r.sleeping.Store(false)
+			p.snapshotShard(s, done)
+		}
+	}
+}
+
+// snapshotShard drains the ring, hands the shard's state to the merger,
+// and resets for the next epoch — the ring loop's half of SnapshotNow.
+func (p *Pipeline) snapshotShard(s *shard, done chan struct{}) {
+	for {
+		batch, ok := s.ring.tryPop()
+		if !ok {
+			break
+		}
+		p.processBatch(s, batch)
+	}
+	p.merge <- shardSnapshot{col: s.col, stages: s.stages}
+	s.col = collector.New()
+	s.stages = make([]Stage, len(p.cfg.Stages))
+	for j, f := range p.cfg.Stages {
+		s.stages[j] = f()
+	}
+	close(done)
 }
 
 // processBatch folds one batch into the shard's collector and stages.
@@ -227,7 +349,27 @@ func (p *Pipeline) processBatch(s *shard, batch []Event) {
 		p.tel.batchSeconds[s.idx].ObserveDuration(time.Since(start))
 		p.tel.batchEvents.Observe(float64(len(batch)))
 	}
-	p.batchPool.Put(batch[:0])
+	p.putBatch(batch)
+}
+
+// getBatch returns an empty batch with BatchSize capacity, recycled
+// when one is available.
+func (p *Pipeline) getBatch() []Event {
+	select {
+	case b := <-p.free:
+		return b
+	default:
+		return make([]Event, 0, p.cfg.BatchSize)
+	}
+}
+
+// putBatch recycles a batch's backing array; extras beyond the
+// freelist's capacity are dropped for the GC.
+func (p *Pipeline) putBatch(batch []Event) {
+	select {
+	case p.free <- batch[:0]:
+	default:
+	}
 }
 
 // runMerger is the single writer of the Store and the merged stages.
@@ -366,7 +508,11 @@ func (p *Pipeline) Close() *collector.Collector {
 		close(p.stopTick)
 		p.tickerWG.Wait()
 		for _, s := range p.shards {
-			close(s.in)
+			if s.ring != nil {
+				s.ring.close()
+			} else {
+				close(s.in)
+			}
 		}
 		p.workersWG.Wait()
 		close(p.merge)
@@ -391,7 +537,7 @@ type Batcher struct {
 func (p *Pipeline) NewBatcher() *Batcher {
 	b := &Batcher{p: p, bufs: make([][]Event, len(p.shards))}
 	for i := range b.bufs {
-		b.bufs[i] = p.batchPool.Get().([]Event)
+		b.bufs[i] = p.getBatch()
 	}
 	return b
 }
@@ -403,7 +549,7 @@ func (b *Batcher) Add(ev Event) {
 	buf := append(b.bufs[sh], ev)
 	if len(buf) >= b.p.cfg.BatchSize {
 		b.p.submit(sh, buf)
-		buf = b.p.batchPool.Get().([]Event)
+		buf = b.p.getBatch()
 	}
 	b.bufs[sh] = buf
 }
@@ -416,22 +562,21 @@ func (b *Batcher) Flush() {
 			continue
 		}
 		b.p.submit(sh, buf)
-		b.bufs[sh] = b.p.batchPool.Get().([]Event)
+		b.bufs[sh] = b.p.getBatch()
 	}
 }
 
 // submit applies the admission policy for one full batch.
 func (p *Pipeline) submit(sh int, batch []Event) {
+	s := p.shards[sh]
 	if p.cfg.DropOnFull {
-		select {
-		case p.shards[sh].in <- batch:
-		default:
+		if !s.tryEnqueue(batch) {
 			p.metrics.dropped.Add(uint64(len(batch)))
-			p.batchPool.Put(batch[:0])
+			p.putBatch(batch)
 			return
 		}
 	} else {
-		p.shards[sh].in <- batch
+		s.enqueue(batch)
 	}
 	p.metrics.enqueued.Add(uint64(len(batch)))
 	p.metrics.batches.Add(1)
@@ -439,7 +584,7 @@ func (p *Pipeline) submit(sh int, batch []Event) {
 		// The post-send depth is the backpressure high-water signal: a
 		// queue that keeps brushing QueueDepth is a pipeline one burst
 		// away from blocking (or shedding) producers.
-		p.tel.queueHighWater[sh].SetMax(int64(len(p.shards[sh].in)))
+		p.tel.queueHighWater[sh].SetMax(int64(s.queueDepth()))
 	}
 }
 

@@ -10,12 +10,13 @@ import (
 )
 
 // TestShardMergeEquivalence is the concurrency correctness contract of
-// the pipeline (run it with -race): the same event stream, ingested by
-// several concurrent producers into 1, 4 and 16 shards, must merge into
-// byte-identical stores — and match the serial single-collector corpus.
-// Per-address updates commute, so neither the shard count, the producer
-// interleaving, nor the snapshot schedule may leave a trace in the
-// result.
+// the pipeline (run it with -race): the same event stream, ingested
+// into 1, 4 and 16 shards over each queue implementation, must merge
+// into byte-identical stores — and match the serial single-collector
+// corpus. Per-address updates commute, so neither the shard count, the
+// queue kind, the producer interleaving, nor the snapshot schedule may
+// leave a trace in the result. The "chan" runs use several concurrent
+// producers; "spsc" uses the one producer its contract allows.
 func TestShardMergeEquivalence(t *testing.T) {
 	events := testEvents(t, 0.03, 12)
 	var serial bytes.Buffer
@@ -29,48 +30,54 @@ func TestShardMergeEquivalence(t *testing.T) {
 		}
 	}()
 
-	const producers = 4
-	for _, shards := range []int{1, 4, 16} {
-		cfg := DefaultConfig(shards)
-		cfg.BatchSize = 32 // small batches: more channel traffic under -race
-		p, err := New(cfg)
-		if err != nil {
-			t.Fatal(err)
+	for _, queue := range []string{"chan", "spsc"} {
+		producers := 4
+		if queue == "spsc" {
+			producers = 1
 		}
-
-		var wg sync.WaitGroup
-		chunk := (len(events) + producers - 1) / producers
-		for pi := 0; pi < producers; pi++ {
-			lo := pi * chunk
-			hi := min(lo+chunk, len(events))
-			if lo >= hi {
-				continue
+		for _, shards := range []int{1, 4, 16} {
+			cfg := DefaultConfig(shards)
+			cfg.BatchSize = 32 // small batches: more queue traffic under -race
+			cfg.ShardQueue = queue
+			p, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
 			}
-			wg.Add(1)
-			go func(part []Event) {
-				defer wg.Done()
-				b := p.NewBatcher()
-				for _, ev := range part {
-					b.Add(ev)
-				}
-				b.Flush()
-			}(events[lo:hi])
-		}
-		wg.Wait()
-		// Fold a mid-run snapshot into the mix for shards=4 so the
-		// snapshot/merge path is also covered by the equivalence claim.
-		if shards == 4 {
-			p.SnapshotNow()
-		}
-		merged := p.Close()
 
-		var got bytes.Buffer
-		if err := merged.WriteCanonical(&got); err != nil {
-			t.Fatal(err)
-		}
-		if !bytes.Equal(got.Bytes(), serial.Bytes()) {
-			t.Errorf("shards=%d: canonical encoding differs from serial (%d vs %d bytes)",
-				shards, got.Len(), serial.Len())
+			var wg sync.WaitGroup
+			chunk := (len(events) + producers - 1) / producers
+			for pi := 0; pi < producers; pi++ {
+				lo := pi * chunk
+				hi := min(lo+chunk, len(events))
+				if lo >= hi {
+					continue
+				}
+				wg.Add(1)
+				go func(part []Event) {
+					defer wg.Done()
+					b := p.NewBatcher()
+					for _, ev := range part {
+						b.Add(ev)
+					}
+					b.Flush()
+				}(events[lo:hi])
+			}
+			wg.Wait()
+			// Fold a mid-run snapshot into the mix for shards=4 so the
+			// snapshot/merge path is also covered by the equivalence claim.
+			if shards == 4 {
+				p.SnapshotNow()
+			}
+			merged := p.Close()
+
+			var got bytes.Buffer
+			if err := merged.WriteCanonical(&got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), serial.Bytes()) {
+				t.Errorf("queue=%s shards=%d: canonical encoding differs from serial (%d vs %d bytes)",
+					queue, shards, got.Len(), serial.Len())
+			}
 		}
 	}
 }

@@ -1,0 +1,123 @@
+package ingest
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// spscRing is a bounded single-producer/single-consumer queue of event
+// batches: a power-of-two slot array indexed by free-running head/tail
+// counters, each counter alone on its cache line so the producer and
+// consumer never false-share. Push and pop on the fast path are one
+// atomic load plus one atomic store — no locks, no channel send, no
+// goroutine parking — which is what Config.ShardQueue = "spsc" buys a
+// single-producer daemon over the default buffered channel.
+//
+// The contract is strict: exactly one goroutine pushes (and eventually
+// closes), exactly one pops. The pipeline enforces the consumer side
+// (one worker per shard); the producer side is the caller's promise —
+// every ingestd source is a single reader loop, so it holds there by
+// construction.
+//
+// Blocking is cooperative. A consumer that finds the ring empty
+// publishes sleeping=true, re-checks (the store and the re-check load
+// are both sequentially consistent, so a concurrent push cannot slip
+// between them unseen), then parks on the 1-buffered notify channel.
+// A producer that observes sleeping=true after publishing its slot
+// claims the flag back via CAS and drops a token in notify — at most
+// one token is ever in flight, and a stale token costs the consumer
+// one spurious loop iteration, never a lost wakeup.
+type spscRing struct {
+	slots  [][]Event
+	mask   uint64
+	notify chan struct{}
+
+	_    [64]byte // keep head off the producer's line
+	head atomic.Uint64
+	_    [64]byte
+	tail atomic.Uint64
+	_    [64]byte
+
+	closed   atomic.Bool
+	sleeping atomic.Bool
+}
+
+// newSPSCRing returns a ring with capacity >= depth batches (rounded up
+// to a power of two, minimum 2).
+func newSPSCRing(depth int) *spscRing {
+	n := 2
+	for n < depth {
+		n <<= 1
+	}
+	return &spscRing{
+		slots:  make([][]Event, n),
+		mask:   uint64(n - 1),
+		notify: make(chan struct{}, 1),
+	}
+}
+
+// tryPush publishes one batch if a slot is free. Producer-only.
+func (r *spscRing) tryPush(batch []Event) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.slots)) {
+		return false
+	}
+	r.slots[t&r.mask] = batch
+	r.tail.Store(t + 1)
+	r.wake()
+	return true
+}
+
+// push publishes one batch, spinning then napping while the ring is
+// full — the blocking-admission (backpressure) flavor of tryPush. A
+// full ring implies the consumer is awake and draining, so the wait is
+// bounded by one batch's processing time.
+func (r *spscRing) push(batch []Event) {
+	for spins := 0; !r.tryPush(batch); spins++ {
+		if spins < 8 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// tryPop takes the next batch if one is available. Consumer-only.
+func (r *spscRing) tryPop() ([]Event, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return nil, false
+	}
+	batch := r.slots[h&r.mask]
+	r.slots[h&r.mask] = nil
+	r.head.Store(h + 1)
+	return batch, true
+}
+
+// len reports the current depth in batches. Safe from any goroutine;
+// exact for the producer and consumer, a point-in-time estimate for
+// observers (the telemetry gauges).
+func (r *spscRing) len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// close marks the stream ended and wakes the consumer so it can observe
+// the flag. Producer-side; push must not be called after close.
+func (r *spscRing) close() {
+	r.closed.Store(true)
+	r.wake()
+}
+
+// wake hands the consumer a token iff it has declared intent to sleep.
+// The CAS makes producer and consumer agree on who owns the flag; the
+// non-blocking send is safe because only a successful CAS ever sends
+// and the buffer holds the one token that can result.
+func (r *spscRing) wake() {
+	if r.sleeping.Load() && r.sleeping.CompareAndSwap(true, false) {
+		select {
+		case r.notify <- struct{}{}:
+		default:
+		}
+	}
+}

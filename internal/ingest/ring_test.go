@@ -1,0 +1,120 @@
+package ingest
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestSPSCRingCapacity(t *testing.T) {
+	for _, tc := range []struct{ depth, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16},
+	} {
+		if got := len(newSPSCRing(tc.depth).slots); got != tc.want {
+			t.Errorf("newSPSCRing(%d): %d slots, want %d", tc.depth, got, tc.want)
+		}
+	}
+}
+
+func TestSPSCRingFullAndDrain(t *testing.T) {
+	r := newSPSCRing(4)
+	for i := 0; i < 4; i++ {
+		if !r.tryPush([]Event{{Time: int64(i)}}) {
+			t.Fatalf("tryPush %d refused below capacity", i)
+		}
+	}
+	if r.tryPush(nil) {
+		t.Fatal("tryPush accepted into a full ring")
+	}
+	if r.len() != 4 {
+		t.Fatalf("len %d, want 4", r.len())
+	}
+	for i := 0; i < 4; i++ {
+		batch, ok := r.tryPop()
+		if !ok || batch[0].Time != int64(i) {
+			t.Fatalf("pop %d: %v ok=%v — FIFO broken", i, batch, ok)
+		}
+	}
+	if _, ok := r.tryPop(); ok {
+		t.Fatal("tryPop from an empty ring")
+	}
+}
+
+// TestSPSCRingStress runs one producer against one consumer across a
+// deliberately tiny ring, with the consumer using the same park/wake
+// protocol as the shard worker loop — under -race this is the proof
+// that two atomics plus a doorbell really are a safe handoff: every
+// batch arrives, exactly once, in order, with no lost wakeups on
+// either side.
+func TestSPSCRingStress(t *testing.T) {
+	r := newSPSCRing(2)
+	const n = 100000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		next := 0
+		for next < n {
+			batch, ok := r.tryPop()
+			if !ok {
+				r.sleeping.Store(true)
+				if r.len() != 0 || r.closed.Load() {
+					r.sleeping.Store(false)
+					continue
+				}
+				<-r.notify
+				continue
+			}
+			if len(batch) != 1 || batch[0].Time != int64(next) {
+				t.Errorf("pop %d: got %v — loss or reorder", next, batch)
+				return
+			}
+			next++
+			if next%1024 == 0 {
+				// An occasional consumer stall forces the producer through
+				// its full-ring backpressure path too.
+				time.Sleep(time.Microsecond)
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		r.push([]Event{{Time: int64(i)}})
+		if i%4096 == 0 {
+			runtime.Gosched()
+		}
+	}
+	r.close()
+	<-done
+}
+
+// TestSPSCPipelineSnapshotDuringIngest rings the snapshot doorbell
+// repeatedly while the single producer is still feeding an spsc
+// pipeline: the mid-stream handoffs must not lose, duplicate, or stall
+// events (run with -race; the equivalence suite separately proves the
+// merged bytes are identical across queue kinds).
+func TestSPSCPipelineSnapshotDuringIngest(t *testing.T) {
+	events := testEvents(t, 0.02, 6)
+	cfg := DefaultConfig(4)
+	cfg.ShardQueue = "spsc"
+	cfg.BatchSize = 16
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := make(chan struct{})
+	go func() {
+		defer close(fed)
+		b := p.NewBatcher()
+		for _, ev := range events {
+			b.Add(ev)
+		}
+		b.Flush()
+	}()
+	for i := 0; i < 8; i++ {
+		p.SnapshotNow()
+	}
+	<-fed
+	merged := p.Close()
+	if merged.TotalObservations() != uint64(len(events)) {
+		t.Errorf("observations %d, want %d", merged.TotalObservations(), len(events))
+	}
+}

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// RateWindow derives a recent-window rate from (time, counter) samples:
+// each Tick records one reading of a monotonically increasing counter
+// and returns the rate across the retained trailing window. It exists
+// for the "recent events per second" class of stats — a long-running
+// daemon's lifetime average goes stale within hours, while the window
+// tracks what the process is doing now. The ingest pipeline uses one
+// per counter it exposes a recent rate for (pipeline-processed events,
+// socket-level datagram arrivals); anything with a counter and a
+// poller can.
+//
+// The zero value is ready to use. Safe for concurrent use.
+type RateWindow struct {
+	mu      sync.Mutex
+	samples []rateSample
+}
+
+type rateSample struct {
+	at    time.Time
+	count uint64
+}
+
+// RateWindowSpan bounds how far back the recent rate looks. Samples
+// are taken on Tick calls, so the effective window is the larger of
+// the caller's polling interval and this span.
+const RateWindowSpan = 60 * time.Second
+
+// maxRateSamples caps the sample buffer against pathological polling.
+const maxRateSamples = 256
+
+// Tick records a sample and returns the rate across the retained
+// window; ok is false until two samples span a measurable interval,
+// and on counter regression (a daemon restarted from a checkpoint
+// behind the poller's last reading) until the stale baseline ages out.
+func (w *RateWindow) Tick(now time.Time, count uint64) (rate float64, ok bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.samples = append(w.samples, rateSample{at: now, count: count})
+	// Drop samples that fell out of the window (always keeping the two
+	// newest so a slow poller still gets its last interval), and bound
+	// the buffer.
+	cut := 0
+	for cut < len(w.samples)-2 && now.Sub(w.samples[cut+1].at) >= RateWindowSpan {
+		cut++
+	}
+	if over := len(w.samples) - maxRateSamples; over > cut {
+		cut = over
+	}
+	if cut > 0 {
+		w.samples = append(w.samples[:0], w.samples[cut:]...)
+	}
+	oldest := w.samples[0]
+	dt := now.Sub(oldest.at).Seconds()
+	if dt <= 0 || count < oldest.count {
+		return 0, false
+	}
+	return float64(count-oldest.count) / dt, true
+}
