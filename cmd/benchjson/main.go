@@ -133,6 +133,22 @@ func headline(bs map[string]Benchmark) map[string]float64 {
 	}
 	pick("ingest_queue_chan_eps", "BenchmarkIngestQueue/queue=chan", "events/sec")
 	pick("ingest_queue_spsc_eps", "BenchmarkIngestQueue/queue=spsc", "events/sec")
+	// The scenario matrix (internal/workload/matrix): one headline pair
+	// per named profile, so each workload regime's trajectory is tracked
+	// on its own instead of only in aggregate. The adversarial profiles
+	// add the number they exist to watch: the collision cluster's
+	// probe-run tail and the backpressure cell's shed count.
+	for _, prof := range []string{
+		"paper", "churn", "eui64-dense", "outage-storm", "collision", "backpressure",
+	} {
+		bench := "BenchmarkScenario/profile=" + prof
+		key := "scenario_" + strings.ReplaceAll(prof, "-", "_")
+		pick(key+"_eps", bench, "events/sec")
+		pick(key+"_b_per_addr", bench, "B/addr")
+	}
+	pick("scenario_collision_probe_p99", "BenchmarkScenario/profile=collision", "probe_p99")
+	pick("scenario_collision_probe_max", "BenchmarkScenario/profile=collision", "probe_max")
+	pick("scenario_backpressure_drops", "BenchmarkScenario/profile=backpressure", "drops")
 	if len(h) == 0 {
 		return nil
 	}

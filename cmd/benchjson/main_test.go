@@ -51,6 +51,44 @@ func TestParse(t *testing.T) {
 	}
 }
 
+const scenarioSample = `goos: linux
+BenchmarkScenario/profile=paper-16             	       1	 120000000 ns/op	  310000 events/sec	  61.5 B/addr	  2 probe_p99	  5 probe_max
+BenchmarkScenario/profile=eui64-dense-16       	       1	 130000000 ns/op	  280000 events/sec	  70.2 B/addr	  2 probe_p99	  6 probe_max
+BenchmarkScenario/profile=collision-16         	       1	  90000000 ns/op	  150000 events/sec	  55.0 B/addr	 512 probe_p99	 640 probe_max
+BenchmarkScenario/profile=backpressure-16      	       1	 140000000 ns/op	  200000 events/sec	  60.1 B/addr	  1 probe_p99	  3 probe_max	  8192 drops
+PASS
+`
+
+// TestScenarioHeadline pins the per-scenario headline keys the bench
+// trajectory tracks: one _eps/_b_per_addr pair per profile (dashes
+// mapped to underscores), plus the collision probe tail and the
+// backpressure shed count.
+func TestScenarioHeadline(t *testing.T) {
+	rep, err := Parse(strings.NewReader(scenarioSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"scenario_paper_eps":               310000,
+		"scenario_paper_b_per_addr":        61.5,
+		"scenario_eui64_dense_eps":         280000,
+		"scenario_collision_eps":           150000,
+		"scenario_collision_probe_p99":     512,
+		"scenario_collision_probe_max":     640,
+		"scenario_backpressure_drops":      8192,
+		"scenario_backpressure_b_per_addr": 60.1,
+	}
+	for key, v := range want {
+		if got := rep.Headline[key]; got != v {
+			t.Errorf("headline[%q] = %v, want %v", key, got, v)
+		}
+	}
+	// Profiles whose benchmarks are absent must not invent keys.
+	if _, ok := rep.Headline["scenario_churn_eps"]; ok {
+		t.Error("headline invented a key for an absent benchmark")
+	}
+}
+
 func TestCompare(t *testing.T) {
 	prev, _ := Parse(strings.NewReader(sample))
 	faster := strings.ReplaceAll(sample, "1298119250", " 640000000")

@@ -1,0 +1,82 @@
+package collector
+
+import (
+	"testing"
+
+	"hitlist6/internal/addr"
+)
+
+// mineColliding returns n addresses sharing the low `bits` of their
+// Hash64 — one home slot on any table up to 2^bits slots — by scanning
+// a deterministic counter.
+func mineColliding(n, bits int) []addr.Addr {
+	mask := uint64(1)<<bits - 1
+	target := addr.FromParts(0x2001_0db8_0000_0000, 0).Hash64() & mask
+	out := make([]addr.Addr, 0, n)
+	for c := uint64(0); len(out) < n; c++ {
+		a := addr.FromParts(0x2001_0db8_0000_0000|c>>32, c<<32|c)
+		if a.Hash64()&mask == target {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func TestAddrIndexStatsEmpty(t *testing.T) {
+	st := New().AddrIndexStats()
+	if st.Slots != 0 || st.Used != 0 || st.MaxProbe != 0 {
+		t.Fatalf("empty collector stats = %+v, want zeros", st)
+	}
+}
+
+// TestAddrIndexStatsUniform checks the accounting on a well-spread
+// population: every key counted, load factor under the grow threshold,
+// and short probes.
+func TestAddrIndexStatsUniform(t *testing.T) {
+	c := New()
+	const n = 2000
+	for i := uint64(0); i < n; i++ {
+		c.ObserveUnix(addr.FromParts(0x2001_0db8_0000_0000+i*0x9e3779b9, i*0x85ebca6b+1), 1_600_000_000, 0)
+	}
+	st := c.AddrIndexStats()
+	if st.Used != c.NumAddrs() {
+		t.Fatalf("Used = %d, NumAddrs = %d", st.Used, c.NumAddrs())
+	}
+	if st.LoadFactor <= 0 || st.LoadFactor > 0.75 {
+		t.Fatalf("load factor %.3f outside (0, 0.75]", st.LoadFactor)
+	}
+	if st.P50Probe < 1 || st.P99Probe < st.P50Probe || st.MaxProbe < st.P99Probe {
+		t.Fatalf("percentiles out of order: %+v", st)
+	}
+	if st.MeanProbe < 1 {
+		t.Fatalf("mean probe %.2f < 1", st.MeanProbe)
+	}
+	// A uniform population at <=3/4 load keeps median probes at the
+	// theoretical floor.
+	if st.P50Probe > 2 {
+		t.Fatalf("uniform population p50 probe = %d, want <= 2", st.P50Probe)
+	}
+}
+
+// TestAddrIndexStatsCollisionCluster is the layout the stats exist to
+// expose: keys sharing one home slot force probe runs that grow with
+// the cluster, which the max/p99 must reflect.
+func TestAddrIndexStatsCollisionCluster(t *testing.T) {
+	c := New()
+	const cluster = 96
+	for _, a := range mineColliding(cluster, 14) {
+		c.ObserveUnix(a, 1_600_000_000, 0)
+	}
+	st := c.AddrIndexStats()
+	if st.Used != cluster {
+		t.Fatalf("Used = %d, want %d", st.Used, cluster)
+	}
+	// All keys in one home slot: the k-th inserted key probes k slots,
+	// so the max equals the cluster size and p50 sits near half of it.
+	if st.MaxProbe != cluster {
+		t.Fatalf("MaxProbe = %d, want %d (single shared home slot)", st.MaxProbe, cluster)
+	}
+	if st.P50Probe < cluster/4 {
+		t.Fatalf("P50Probe = %d, want >= %d under full collision", st.P50Probe, cluster/4)
+	}
+}

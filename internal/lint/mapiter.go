@@ -19,6 +19,10 @@ var deterministicPkgs = map[string]bool{
 	"hitlist6/internal/outage":    true,
 	"hitlist6/internal/tracking":  true,
 	"hitlist6/internal/scan":      true,
+	// The scenario harness asserts byte-identical reports per seed — its
+	// own generation and rendering must hold the invariant it checks.
+	"hitlist6/internal/workload":        true,
+	"hitlist6/internal/workload/matrix": true,
 }
 
 // deterministicRootFiles are the root-package files in scope: the
