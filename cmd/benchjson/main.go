@@ -133,13 +133,22 @@ func headline(bs map[string]Benchmark) map[string]float64 {
 	}
 	pick("ingest_queue_chan_eps", "BenchmarkIngestQueue/queue=chan", "events/sec")
 	pick("ingest_queue_spsc_eps", "BenchmarkIngestQueue/queue=spsc", "events/sec")
+	// Tiered corpus (internal/pager) and the delta-chain checkpoints:
+	// delta write bandwidth against the full-snapshot baseline, the cold
+	// point-lookup pair (a filter miss answers without I/O; a filter hit
+	// pays one chunk load), and the streaming fold's off-file walk rate.
+	pick("delta_checkpoint_mb_s", "BenchmarkDeltaCheckpoint/mode=delta", "MB/s")
+	pick("full_checkpoint_mb_s", "BenchmarkDeltaCheckpoint/mode=full", "MB/s")
+	pick("cold_contains_ns", "BenchmarkColdContains/filter=miss", "")
+	pick("cold_contains_hit_ns", "BenchmarkColdContains/filter=hit", "")
+	pick("streaming_report_eps", "BenchmarkStreamingReport", "addrs/sec")
 	// The scenario matrix (internal/workload/matrix): one headline pair
 	// per named profile, so each workload regime's trajectory is tracked
 	// on its own instead of only in aggregate. The adversarial profiles
 	// add the number they exist to watch: the collision cluster's
 	// probe-run tail and the backpressure cell's shed count.
 	for _, prof := range []string{
-		"paper", "churn", "eui64-dense", "outage-storm", "collision", "backpressure",
+		"paper", "churn", "eui64-dense", "outage-storm", "collision", "cold-replay", "backpressure",
 	} {
 		bench := "BenchmarkScenario/profile=" + prof
 		key := "scenario_" + strings.ReplaceAll(prof, "-", "_")

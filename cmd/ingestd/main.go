@@ -56,6 +56,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -66,6 +67,7 @@ import (
 	"hitlist6/internal/ingest"
 	"hitlist6/internal/ntppool"
 	"hitlist6/internal/outage"
+	"hitlist6/internal/pager"
 	"hitlist6/internal/simnet"
 	"hitlist6/internal/telemetry"
 )
@@ -85,6 +87,16 @@ type daemon struct {
 	udp       *udpSource // nil: not ingesting from a socket
 	outWindow int
 	snapPath  string // "": durable snapshots disabled
+	deltaMode bool   // -snapshot.delta: checkpoints run the chain protocol
+
+	// Tiered corpus (-corpus.rambudget; see tier.go). tierMu serializes
+	// every access to tier, including swapping it for a fresh file after a
+	// checkpoint.
+	ramBudget int64  // 0: tiering disabled
+	tierPath  string // "": tiering disabled
+	pagerMet  *pager.Metrics
+	tierMu    sync.Mutex
+	tier      *pager.Corpus // nil until the first tier file exists
 
 	badLines      atomic.Uint64
 	latestOutages atomic.Pointer[outagesReply]
@@ -104,6 +116,7 @@ func (d *daemon) newMux() *http.ServeMux {
 	mux.HandleFunc("/stats", d.handleStats)
 	mux.HandleFunc("/outages", d.handleOutages)
 	mux.HandleFunc("/snapshot", d.handleSnapshot)
+	mux.HandleFunc("/probe", d.handleProbe)
 	mux.Handle("/metrics", d.reg.Handler())
 	mux.Handle("/healthz", d.health.LivenessHandler())
 	mux.Handle("/readyz", d.health.ReadinessHandler())
@@ -119,8 +132,10 @@ func (d *daemon) newMux() *http.ServeMux {
 }
 
 func (d *daemon) handleStats(w http.ResponseWriter, _ *http.Request) {
+	reply := buildStats(d.pipe, d.udp)
+	reply.Tier = d.tierStats()
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(buildStats(d.pipe, d.udp)); err != nil {
+	if err := json.NewEncoder(w).Encode(reply); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
@@ -153,7 +168,7 @@ func (d *daemon) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	size, err := d.pipe.CheckpointFile(d.snapPath)
+	size, err := d.checkpointNow()
 	if err != nil {
 		d.log.Error("snapshot failed", "path", d.snapPath, "error", err)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -168,6 +183,31 @@ func (d *daemon) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// checkpointNow writes one durable checkpoint through whichever
+// protocol the daemon runs — the delta chain under -snapshot.delta,
+// otherwise a plain full snapshot — and, when the tiered corpus is
+// enabled, refreshes the tier file to match. A tier refresh failure is
+// logged but does not fail the checkpoint: the durable corpus is the
+// artifact that matters; the tier is a rebuildable query index.
+func (d *daemon) checkpointNow() (int64, error) {
+	var size int64
+	var err error
+	if d.deltaMode {
+		size, err = d.pipe.CheckpointChain(d.snapPath)
+	} else {
+		size, err = d.pipe.CheckpointFile(d.snapPath)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if d.tierPath != "" {
+		if terr := d.refreshTier(); terr != nil {
+			d.log.Error("tier refresh failed", "path", d.tierPath, "error", terr)
+		}
+	}
+	return size, nil
 }
 
 // shutdown drains the daemon in dependency order: flip readiness off
@@ -188,7 +228,7 @@ func (d *daemon) shutdown(srv *http.Server) {
 	}
 	d.pipe.Quiesce()
 	if d.snapPath != "" {
-		if size, err := d.pipe.CheckpointFile(d.snapPath); err != nil {
+		if size, err := d.checkpointNow(); err != nil {
 			d.log.Error("final checkpoint failed", "path", d.snapPath, "error", err)
 		} else {
 			d.log.Info("final checkpoint", "path", d.snapPath, "bytes", size)
@@ -211,28 +251,31 @@ func (d *daemon) shutdown(srv *http.Server) {
 
 func main() {
 	var (
-		listen    = flag.String("listen", ":8629", "HTTP listen address")
-		file      = flag.String("file", "", "event file to replay ('-' for stdin)")
-		udp       = flag.String("udp", "", "UDP listen address for event datagrams")
-		sim       = flag.Bool("sim", false, "generate a simnet replay stream instead of external input")
-		simScale  = flag.Float64("sim.scale", 0.1, "simnet population scale")
-		simDays   = flag.Int("sim.days", 30, "simnet study window in days")
-		simSeed   = flag.Int64("sim.seed", 1, "simnet world seed")
-		shards    = flag.Int("shards", 0, "collector shards (0 = one per CPU, capped at 8)")
-		batch     = flag.Int("batch", 0, "events per batch (0 = default)")
-		queue     = flag.Int("queue", 0, "per-shard queue depth in batches (0 = default)")
-		drop      = flag.Bool("drop", false, "shed events when a shard queue is full instead of blocking")
-		snapshot  = flag.Duration("snapshot", 2*time.Second, "live-view snapshot interval")
-		hllPrec   = flag.Uint("hll", 14, "HyperLogLog precision (4-16)")
-		serverCp  = flag.Int("servers", collector.MaxServers, "vantage-server attribution cap")
-		outBin    = flag.Duration("outage.bin", time.Hour, "outage series bin width (whole seconds; 0 disables the outage consumer)")
-		outEvery  = flag.Duration("outage.every", 30*time.Second, "how often the live outage detector rescans the series")
-		outWindow = flag.Int("outage.window", 0, "rolling detection window in complete bins (0 = whole series)")
-		snapDir   = flag.String("snapshot.dir", "", "directory for durable corpus snapshots (restore on start, checkpoint while running)")
-		snapEvery = flag.Duration("snapshot.every", 0, "how often to checkpoint the corpus into -snapshot.dir (0 = only on /snapshot)")
-		logLevel  = flag.String("log.level", "info", "log threshold: debug, info, warn or error")
-		logFormat = flag.String("log.format", "text", "log encoding: text or json")
-		eventsCap = flag.Int("debug.events", telemetry.DefaultEventRingSize, "recent-events ring capacity for /debug/events")
+		listen      = flag.String("listen", ":8629", "HTTP listen address")
+		file        = flag.String("file", "", "event file to replay ('-' for stdin)")
+		udp         = flag.String("udp", "", "UDP listen address for event datagrams")
+		sim         = flag.Bool("sim", false, "generate a simnet replay stream instead of external input")
+		simScale    = flag.Float64("sim.scale", 0.1, "simnet population scale")
+		simDays     = flag.Int("sim.days", 30, "simnet study window in days")
+		simSeed     = flag.Int64("sim.seed", 1, "simnet world seed")
+		shards      = flag.Int("shards", 0, "collector shards (0 = one per CPU, capped at 8)")
+		batch       = flag.Int("batch", 0, "events per batch (0 = default)")
+		queue       = flag.Int("queue", 0, "per-shard queue depth in batches (0 = default)")
+		drop        = flag.Bool("drop", false, "shed events when a shard queue is full instead of blocking")
+		snapshot    = flag.Duration("snapshot", 2*time.Second, "live-view snapshot interval")
+		hllPrec     = flag.Uint("hll", 14, "HyperLogLog precision (4-16)")
+		serverCp    = flag.Int("servers", collector.MaxServers, "vantage-server attribution cap")
+		outBin      = flag.Duration("outage.bin", time.Hour, "outage series bin width (whole seconds; 0 disables the outage consumer)")
+		outEvery    = flag.Duration("outage.every", 30*time.Second, "how often the live outage detector rescans the series")
+		outWindow   = flag.Int("outage.window", 0, "rolling detection window in complete bins (0 = whole series)")
+		snapDir     = flag.String("snapshot.dir", "", "directory for durable corpus snapshots (restore on start, checkpoint while running)")
+		snapEvery   = flag.Duration("snapshot.every", 0, "how often to checkpoint the corpus into -snapshot.dir (0 = only on /snapshot)")
+		snapDelta   = flag.Bool("snapshot.delta", false, "checkpoint via the delta chain: full base plus per-checkpoint deltas of dirtied blocks")
+		snapCompact = flag.Int("snapshot.compact", 0, "fold the delta chain into a fresh full base every N deltas (0 = default)")
+		ramBudget   = flag.Int64("corpus.rambudget", 0, "tiered-corpus RAM budget in bytes for /probe chunk residency (0 disables tiering)")
+		logLevel    = flag.String("log.level", "info", "log threshold: debug, info, warn or error")
+		logFormat   = flag.String("log.format", "text", "log encoding: text or json")
+		eventsCap   = flag.Int("debug.events", telemetry.DefaultEventRingSize, "recent-events ring capacity for /debug/events")
 	)
 	flag.Parse()
 
@@ -274,6 +317,22 @@ func main() {
 	}
 	if *snapEvery > 0 && *snapDir == "" {
 		fmt.Fprintln(os.Stderr, "ingestd: -snapshot.every needs -snapshot.dir")
+		os.Exit(2)
+	}
+	if (*snapDelta || *snapCompact != 0) && *snapDir == "" {
+		fmt.Fprintln(os.Stderr, "ingestd: -snapshot.delta needs -snapshot.dir")
+		os.Exit(2)
+	}
+	if *snapCompact < 0 {
+		fmt.Fprintf(os.Stderr, "ingestd: -snapshot.compact %d must be non-negative\n", *snapCompact)
+		os.Exit(2)
+	}
+	if *ramBudget < 0 {
+		fmt.Fprintf(os.Stderr, "ingestd: -corpus.rambudget %d must be non-negative\n", *ramBudget)
+		os.Exit(2)
+	}
+	if *ramBudget > 0 && *snapDir == "" {
+		fmt.Fprintln(os.Stderr, "ingestd: -corpus.rambudget needs -snapshot.dir")
 		os.Exit(2)
 	}
 
@@ -321,7 +380,7 @@ func main() {
 			"Wall time restoring the corpus checkpoint at startup.",
 			telemetry.DurationBuckets())
 		start := time.Now()
-		cfg.Seed = restoreOrEmpty(snapPath, func(format string, args ...any) {
+		cfg.Seed = restoreOrEmpty(snapPath, *snapDelta, func(format string, args ...any) {
 			msg := fmt.Sprintf(format, args...)
 			if strings.Contains(msg, "WARNING") {
 				logger.Warn(msg)
@@ -332,6 +391,8 @@ func main() {
 		restoreSeconds.ObserveDuration(time.Since(start))
 		cfg.CheckpointPath = snapPath
 		cfg.CheckpointInterval = *snapEvery
+		cfg.DeltaCheckpoints = *snapDelta
+		cfg.CompactEvery = *snapCompact
 	}
 	if routes != nil {
 		cfg.Stages = append(cfg.Stages, ingest.OutageSeriesLive(routes, *outBin))
@@ -345,6 +406,15 @@ func main() {
 	d := &daemon{
 		pipe: pipe, reg: reg, health: health, ring: ring, log: logger,
 		routes: routes, outWindow: *outWindow, snapPath: snapPath,
+		deltaMode: *snapDelta,
+	}
+	if *ramBudget > 0 {
+		d.ramBudget = *ramBudget
+		d.tierPath = tierPath(*snapDir)
+		d.pagerMet = pager.NewMetrics(reg)
+		d.openTierAtStart()
+		logger.Info("tiered corpus enabled",
+			"path", d.tierPath, "budget_bytes", d.ramBudget)
 	}
 	reg.GaugeFunc("ingestd_malformed_lines",
 		"Input lines that failed to parse since start.",
@@ -437,14 +507,27 @@ func snapshotPath(dir string) string {
 	return filepath.Join(dir, "corpus.snap")
 }
 
-// restoreOrEmpty loads the corpus checkpoint for daemon startup. A
+// tierPath is where the tiered-corpus query file lives, next to the
+// checkpoint it is derived from.
+func tierPath(dir string) string {
+	return filepath.Join(dir, "corpus.tier")
+}
+
+// restoreOrEmpty loads the corpus checkpoint for daemon startup — the
+// delta chain when -snapshot.delta, the plain file otherwise. A
 // daemon must come up even when its checkpoint is damaged — losing the
 // corpus and re-accumulating beats refusing to collect — so missing
 // files start empty silently and unreadable/corrupt files start empty
 // with a logged warning. (Batch/study runs make the opposite choice:
 // see hitlist6.Config.CheckpointPath.)
-func restoreOrEmpty(path string, logf func(format string, args ...any)) *collector.Collector {
-	c, err := ingest.RestoreFile(path)
+func restoreOrEmpty(path string, delta bool, logf func(format string, args ...any)) *collector.Collector {
+	var c *collector.Collector
+	var err error
+	if delta {
+		c, err = ingest.RestoreChainFiles(path)
+	} else {
+		c, err = ingest.RestoreFile(path)
+	}
 	if err != nil {
 		logf("ingestd: WARNING: checkpoint %s unusable, starting with an empty corpus: %v", path, err)
 		return nil
@@ -469,6 +552,7 @@ type statsReply struct {
 	Shards       int                    `json:"shards"`
 	Metrics      ingest.MetricsSnapshot `json:"metrics"`
 	UDP          *udpStatsReply         `json:"udp,omitempty"`
+	Tier         *tierStatsReply        `json:"tier,omitempty"`
 	UniqueAddrs  int                    `json:"unique_addrs"`
 	UniqueIIDs   int                    `json:"unique_iids"`
 	Observations uint64                 `json:"observations"`

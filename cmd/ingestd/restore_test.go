@@ -28,7 +28,7 @@ func TestRestoreOrEmpty(t *testing.T) {
 
 	// Missing: empty start, no warning.
 	logf, lines := logged()
-	if c := restoreOrEmpty(path, logf); c != nil {
+	if c := restoreOrEmpty(path, false, logf); c != nil {
 		t.Fatalf("missing checkpoint restored something: %v", c)
 	}
 	if len(*lines) != 0 {
@@ -53,7 +53,7 @@ func TestRestoreOrEmpty(t *testing.T) {
 
 	// Good: restores with an informational line.
 	logf, lines = logged()
-	c := restoreOrEmpty(path, logf)
+	c := restoreOrEmpty(path, false, logf)
 	if c == nil {
 		t.Fatal("good checkpoint did not restore")
 	}
@@ -89,7 +89,7 @@ func TestRestoreOrEmpty(t *testing.T) {
 			t.Fatal(err)
 		}
 		logf, lines = logged()
-		if c := restoreOrEmpty(path, logf); c != nil {
+		if c := restoreOrEmpty(path, false, logf); c != nil {
 			t.Errorf("%s: damaged checkpoint restored (%d addrs)", name, c.NumAddrs())
 		}
 		if len(*lines) != 1 || !strings.Contains((*lines)[0], "WARNING") {

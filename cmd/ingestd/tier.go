@@ -1,0 +1,154 @@
+// The daemon's tiered-corpus surface (-corpus.rambudget): alongside
+// each durable checkpoint the daemon writes a tier file — the corpus as
+// fixed-size canonical chunks with per-chunk filters (internal/pager) —
+// and serves point lookups off it at /probe with a bounded RAM budget,
+// instead of holding a second full corpus for queries. /stats grows a
+// tier block and the pager's gauges/counters land on /metrics.
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+
+	"hitlist6/internal/addr"
+	"hitlist6/internal/collector"
+	"hitlist6/internal/ingest"
+	"hitlist6/internal/pager"
+)
+
+// refreshTier rewrites the tier file from the live corpus (atomically,
+// like every durable artifact) and swaps the daemon's pager onto the
+// new file. Serialized with every tier read via tierMu, so the old
+// corpus is never closed under an in-flight probe.
+//
+//lint:durable-path the tier file must survive a crash mid-rewrite
+func (d *daemon) refreshTier() error {
+	d.tierMu.Lock()
+	defer d.tierMu.Unlock()
+	if _, err := ingest.AtomicWriteFile(d.tierPath, func(w io.Writer) error {
+		var inner error
+		d.pipe.Store().View(func(c *collector.Collector) {
+			inner = pager.WriteTier(c, w)
+		})
+		return inner
+	}); err != nil {
+		return err
+	}
+	return d.openTierLocked()
+}
+
+// openTierAtStart picks up a tier file left by a previous run, so
+// /probe serves immediately after a restart. A missing or unreadable
+// file is not fatal — the next checkpoint rewrites it.
+func (d *daemon) openTierAtStart() {
+	d.tierMu.Lock()
+	defer d.tierMu.Unlock()
+	if _, err := os.Stat(d.tierPath); err != nil {
+		return
+	}
+	if err := d.openTierLocked(); err != nil {
+		d.log.Warn("stale tier file unreadable; will rewrite at next checkpoint",
+			"path", d.tierPath, "error", err)
+	}
+}
+
+func (d *daemon) openTierLocked() error {
+	nc, err := pager.Open(d.tierPath, pager.Options{
+		RAMBudget: d.ramBudget,
+		Metrics:   d.pagerMet,
+	})
+	if err != nil {
+		return err
+	}
+	if d.tier != nil {
+		if cerr := d.tier.Close(); cerr != nil {
+			d.log.Warn("closing previous tier reader", "path", d.tierPath, "error", cerr)
+		}
+	}
+	d.tier = nc
+	return nil
+}
+
+// probeReply is the /probe JSON shape.
+type probeReply struct {
+	Addr    string `json:"addr"`
+	Found   bool   `json:"found"`
+	First   int64  `json:"first,omitempty"`
+	Last    int64  `json:"last,omitempty"`
+	Count   uint32 `json:"count,omitempty"`
+	Servers uint32 `json:"servers,omitempty"`
+}
+
+// handleProbe serves point lookups off the tiered corpus — the cold
+// -probe path: fence search, bloom filter, and at most one chunk pread,
+// never touching the live store or its locks.
+func (d *daemon) handleProbe(w http.ResponseWriter, r *http.Request) {
+	if d.tierPath == "" {
+		http.Error(w, "tiered corpus disabled (-corpus.rambudget 0)", http.StatusNotFound)
+		return
+	}
+	a, err := addr.Parse(r.URL.Query().Get("addr"))
+	if err != nil {
+		http.Error(w, "probe needs ?addr=<ipv6>: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	d.tierMu.Lock()
+	defer d.tierMu.Unlock()
+	if d.tier == nil {
+		http.Error(w, "tier not yet written (POST /snapshot)", http.StatusServiceUnavailable)
+		return
+	}
+	rec, ok, err := d.tier.Get(a)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	reply := probeReply{Addr: a.String(), Found: ok}
+	if ok {
+		reply.First, reply.Last = rec.First, rec.Last
+		reply.Count, reply.Servers = rec.Count, rec.Servers
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(reply); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// tierStatsReply is the /stats tier block.
+type tierStatsReply struct {
+	Path          string `json:"path"`
+	Budget        int64  `json:"budget_bytes"`
+	Chunks        int    `json:"chunks"`
+	Resident      int    `json:"resident_chunks"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	Addrs         int    `json:"addrs"`
+	FilterProbes  uint64 `json:"filter_probes"`
+	FilterSkips   uint64 `json:"filter_skips"`
+	ChunkLoads    uint64 `json:"chunk_loads"`
+}
+
+// tierStats snapshots the tier block for /stats; nil when the tiered
+// corpus is disabled or not yet written.
+func (d *daemon) tierStats() *tierStatsReply {
+	if d.tierPath == "" {
+		return nil
+	}
+	d.tierMu.Lock()
+	defer d.tierMu.Unlock()
+	if d.tier == nil {
+		return nil
+	}
+	return &tierStatsReply{
+		Path:          d.tierPath,
+		Budget:        d.ramBudget,
+		Chunks:        d.tier.NumChunks(),
+		Resident:      d.tier.ResidentChunks(),
+		ResidentBytes: d.tier.ResidentBytes(),
+		Addrs:         d.tier.NumAddrs(),
+		FilterProbes:  d.pagerMet.Probes.Value(),
+		FilterSkips:   d.pagerMet.Skips.Value(),
+		ChunkLoads:    d.pagerMet.Loads.Value(),
+	}
+}

@@ -1,0 +1,131 @@
+package collector
+
+import (
+	"fmt"
+
+	"hitlist6/internal/addr"
+)
+
+// SpanWindow is one per-/64 sighting window handed to Builder.AddIID —
+// the builder-side mirror of what IIDView.P64s iterates.
+type SpanWindow struct {
+	P64         addr.Prefix64
+	First, Last int64
+}
+
+// Builder reconstructs a Collector from a canonical-order record stream
+// — the tiered corpus restore path (internal/pager), where the records
+// arrive as sorted chunks off a snapshot file rather than as replayed
+// observations.
+//
+// The builder promotes every IID: singletons (whose live representation
+// is just a table slot pointing at the address record) come back as
+// promoted entries carrying the same aggregate. That costs one 36-byte
+// record per singleton but is observationally invisible — the canonical
+// encoding, Checksum, every IIDView accessor and the EUI-64 iterators
+// (which filter on span tracking, not promotion) all produce identical
+// results, which is what lets a restore run straight off canonical
+// bytes without re-deriving which IIDs were singletons.
+//
+// Records must arrive in canonical order: AddAddr strictly ascending by
+// address, AddIID strictly ascending by IID with spans strictly
+// ascending by /64. Finish validates the cross-record invariants.
+type Builder struct {
+	c        *Collector
+	haveAddr bool
+	lastAddr addr.Addr
+	haveIID  bool
+	lastIID  addr.IID
+	addrSum  uint64
+	iidSum   uint64
+}
+
+// NewBuilder returns a builder over a fresh collector.
+func NewBuilder() *Builder { return &Builder{c: New()} }
+
+// AddAddr appends one address record. Keys must be strictly ascending.
+func (b *Builder) AddAddr(a addr.Addr, rec AddrRecord) error {
+	if b.haveAddr && !b.lastAddr.Less(a) {
+		return fmt.Errorf("collector: builder: address %v not ascending", a)
+	}
+	if rec.Count == 0 {
+		return fmt.Errorf("collector: builder: address %v has zero count", a)
+	}
+	if rec.First > rec.Last {
+		return fmt.Errorf("collector: builder: address %v window inverted", a)
+	}
+	b.haveAddr, b.lastAddr = true, a
+	_, slot, ok := b.c.findAddr(a)
+	if ok {
+		return fmt.Errorf("collector: builder: duplicate address %v", a)
+	}
+	_, e := b.c.insertAddr(a, slot)
+	e.rec = rec
+	b.addrSum += uint64(rec.Count)
+	return nil
+}
+
+// AddIID appends one IID record with its per-/64 spans (nil for an
+// untracked IID). IIDs must be strictly ascending, spans strictly
+// ascending by /64.
+func (b *Builder) AddIID(iid addr.IID, first, last int64, count uint32, spans []SpanWindow) error {
+	if b.haveIID && iid <= b.lastIID {
+		return fmt.Errorf("collector: builder: IID %016x not ascending", uint64(iid))
+	}
+	if count == 0 {
+		return fmt.Errorf("collector: builder: IID %016x has zero count", uint64(iid))
+	}
+	if first > last {
+		return fmt.Errorf("collector: builder: IID %016x window inverted", uint64(iid))
+	}
+	b.haveIID, b.lastIID = true, iid
+	_, slot, ok := b.c.findIID(iid)
+	if ok {
+		return fmt.Errorf("collector: builder: duplicate IID %016x", uint64(iid))
+	}
+	ri, e := b.c.allocPromoted(iid, first, last, count)
+	for i, w := range spans {
+		if i > 0 && uint64(w.P64) <= uint64(spans[i-1].P64) {
+			return fmt.Errorf("collector: builder: IID %016x spans not ascending", uint64(iid))
+		}
+		if w.First > w.Last {
+			return fmt.Errorf("collector: builder: IID %016x span %v window inverted", uint64(iid), w.P64)
+		}
+		si := b.c.spans.alloc()
+		n := b.c.spans.at(si)
+		n.p64, n.first, n.last, n.next = w.P64, w.First, w.Last, e.spans
+		e.spans = si
+		e.p64n++
+	}
+	b.c.setIIDSlot(slot, ri|promotedTag, iid)
+	b.iidSum += uint64(count)
+	return nil
+}
+
+// Finish validates the cross-record invariants the per-record checks
+// cannot see and returns the collector. total is the stream's declared
+// observation count; it must equal both the address and the IID count
+// sums, and every address's IID must have been added — anything else
+// means the canonical stream was damaged or truncated in a way the
+// per-chunk CRCs could not catch.
+func (b *Builder) Finish(total uint64) (*Collector, error) {
+	c := b.c
+	b.c = nil // the builder is spent; further Adds would corrupt c
+	if c == nil {
+		return nil, fmt.Errorf("collector: builder: Finish called twice")
+	}
+	if b.addrSum != total {
+		return nil, fmt.Errorf("collector: builder: address counts sum to %d, stream declares %d", b.addrSum, total)
+	}
+	if b.iidSum != total {
+		return nil, fmt.Errorf("collector: builder: IID counts sum to %d, stream declares %d", b.iidSum, total)
+	}
+	for i := uint32(0); i < c.addrRecs.n; i++ {
+		key := c.addrRecs.at(i).key
+		if _, _, ok := c.findIID(key.IID()); !ok {
+			return nil, fmt.Errorf("collector: builder: address %v has no IID record", key)
+		}
+	}
+	c.total = total
+	return c, nil
+}

@@ -73,6 +73,32 @@ func (c *Collector) WriteCanonical(w io.Writer) error {
 		putU64(uint64(e.rec.Servers))
 	}
 
+	if err := c.writeCanonicalIIDsTo(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteCanonicalIIDs writes only the IID half of the canonical encoding
+// (IID count, then every IID record in ascending order with sorted
+// spans). The tiered corpus format embeds exactly these bytes as its
+// resident IID tier so a pager-backed checksum can splice them in
+// without holding the collector.
+func (c *Collector) WriteCanonicalIIDs(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := c.writeCanonicalIIDsTo(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (c *Collector) writeCanonicalIIDsTo(bw *bufio.Writer) error {
+	var scratch [8]byte
+	putU64 := func(v uint64) {
+		binary.BigEndian.PutUint64(scratch[:], v)
+		bw.Write(scratch[:])
+	}
+
 	iids := c.sortedIIDRefs()
 	putU64(uint64(len(iids)))
 	var p64s []spanNode // scratch, reused across IIDs
@@ -103,7 +129,7 @@ func (c *Collector) WriteCanonical(w io.Writer) error {
 			putU64(uint64(n.last))
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
 // Checksum returns the SHA-256 of the canonical encoding: a compact

@@ -387,6 +387,10 @@ type Collector struct {
 	p48s  u64set
 	p64s  u64set
 	total uint64
+	// ckpt is the delta-checkpoint watermark (see dirty.go): which slab
+	// prefix the last checkpoint covered and which blocks of it have been
+	// mutated in place since.
+	ckpt ckptState
 }
 
 // New returns an empty collector. All storage grows on demand, so idle
@@ -525,6 +529,7 @@ func (c *Collector) ObserveUnix(a addr.Addr, ts int64, server int) {
 		}
 		r.Count++
 		r.Servers |= serverBit
+		c.markAddrDirty(ai)
 	} else {
 		var e *addrEntry
 		ai, e = c.insertAddr(a, slot)
@@ -536,7 +541,7 @@ func (c *Collector) ObserveUnix(a addr.Addr, ts int64, server int) {
 	if !found {
 		if iid.IsEUI64() {
 			ri, e := c.allocPromoted(iid, ts, ts, 1)
-			c.widenSpan(e, a.P64(), ts, ts)
+			c.widenSpan(ri, e, a.P64(), ts, ts)
 			c.setIIDSlot(slot, ri|promotedTag, iid)
 			return
 		}
@@ -546,7 +551,8 @@ func (c *Collector) ObserveUnix(a addr.Addr, ts int64, server int) {
 		return
 	}
 	if ref&promotedTag != 0 {
-		r := c.iidRecs.at(ref &^ promotedTag)
+		ri := ref &^ promotedTag
+		r := c.iidRecs.at(ri)
 		if ts < r.first {
 			r.first = ts
 		}
@@ -554,8 +560,9 @@ func (c *Collector) ObserveUnix(a addr.Addr, ts int64, server int) {
 			r.last = ts
 		}
 		r.count++
+		c.markIIDDirty(ri)
 		if r.spans != spanNone {
-			c.widenSpan(r, a.P64(), ts, ts)
+			c.widenSpan(ri, r, a.P64(), ts, ts)
 		}
 		return
 	}
@@ -582,9 +589,10 @@ func (c *Collector) ObserveUnix(a addr.Addr, ts int64, server int) {
 // the IID's chain and prepending a fresh node when the /64 is new. A
 // matched node moves to the chain head, so repeat sightings of an IID's
 // current /64 — the overwhelmingly common case — stay O(1) even for
-// identifiers spread across many /64s. r must point into the IID slab;
-// appending to the span slab never moves it.
-func (c *Collector) widenSpan(r *iidEntry, p addr.Prefix64, first, last int64) {
+// identifiers spread across many /64s. r must point into the IID slab
+// at index ri (needed for dirty tracking of the chain head); appending
+// to the span slab never moves it.
+func (c *Collector) widenSpan(ri uint32, r *iidEntry, p addr.Prefix64, first, last int64) {
 	prev := spanNone
 	for i := r.spans; i != spanNone; {
 		n := c.spans.at(i)
@@ -595,10 +603,13 @@ func (c *Collector) widenSpan(r *iidEntry, p addr.Prefix64, first, last int64) {
 			if last > n.last {
 				n.last = last
 			}
+			c.markSpanDirty(i)
 			if prev != spanNone {
 				c.spans.at(prev).next = n.next
 				n.next = r.spans
 				r.spans = i
+				c.markSpanDirty(prev)
+				c.markIIDDirty(ri)
 			}
 			return
 		}
@@ -610,6 +621,7 @@ func (c *Collector) widenSpan(r *iidEntry, p addr.Prefix64, first, last int64) {
 	n.p64, n.first, n.last, n.next = p, first, last, r.spans
 	r.spans = i
 	r.p64n++
+	c.markIIDDirty(ri)
 }
 
 // NumAddrs returns the number of unique addresses observed.
@@ -815,6 +827,7 @@ func (c *Collector) Merge(o *Collector) {
 			}
 			mine.Count += oe.rec.Count
 			mine.Servers |= oe.rec.Servers
+			c.markAddrDirty(i)
 		} else {
 			_, e := c.insertAddr(oe.key, slot)
 			e.rec = oe.rec
@@ -881,7 +894,8 @@ func (c *Collector) mergeIIDSingleton(bAddr addr.Addr, bRec AddrRecord) {
 	if ref&promotedTag != 0 {
 		// c already tracks multiple addresses for this IID; o's sightings
 		// of bAddr are disjoint from c's, so the count adds cleanly.
-		r := c.iidRecs.at(ref &^ promotedTag)
+		ri := ref &^ promotedTag
+		r := c.iidRecs.at(ri)
 		if bRec.First < r.first {
 			r.first = bRec.First
 		}
@@ -889,6 +903,7 @@ func (c *Collector) mergeIIDSingleton(bAddr addr.Addr, bRec AddrRecord) {
 			r.last = bRec.Last
 		}
 		r.count += bRec.Count
+		c.markIIDDirty(ri)
 		return
 	}
 	mine := c.addrRecs.at(ref)
@@ -921,13 +936,14 @@ func (c *Collector) mergeIIDPromoted(o *Collector, or *iidEntry) {
 	iid := or.key
 	ref, slot, ok := c.findIID(iid)
 	var r *iidEntry
+	var ri uint32
 	switch {
 	case !ok:
-		var ri uint32
 		ri, r = c.allocPromoted(iid, or.first, or.last, or.count)
 		c.setIIDSlot(slot, ri|promotedTag, iid)
 	case ref&promotedTag != 0:
-		r = c.iidRecs.at(ref &^ promotedTag)
+		ri = ref &^ promotedTag
+		r = c.iidRecs.at(ri)
 		if or.first < r.first {
 			r.first = or.first
 		}
@@ -935,6 +951,7 @@ func (c *Collector) mergeIIDPromoted(o *Collector, or *iidEntry) {
 			r.last = or.last
 		}
 		r.count += or.count
+		c.markIIDDirty(ri)
 	default:
 		// c holds a singleton whose address pass may already have folded
 		// o's sightings of that same address — which or.count includes
@@ -951,13 +968,12 @@ func (c *Collector) mergeIIDPromoted(o *Collector, or *iidEntry) {
 		if or.last > last {
 			last = or.last
 		}
-		var ri uint32
 		ri, r = c.allocPromoted(iid, first, last, count)
 		c.iidIdx[slot] = (ri | promotedTag) + 1
 	}
 	for si := or.spans; si != spanNone; {
 		sn := o.spans.at(si)
-		c.widenSpan(r, sn.p64, sn.first, sn.last)
+		c.widenSpan(ri, r, sn.p64, sn.first, sn.last)
 		si = sn.next
 	}
 }
@@ -993,8 +1009,13 @@ func (c *Collector) Absorb(o *Collector) {
 	}
 	if c.addrRecs.n == 0 && c.iidUsed == 0 && c.spans.n == 0 {
 		total := c.total
+		ck := c.ckpt
 		*c = *o
 		c.total += total
+		// c keeps its own checkpoint lineage, not the donor's: c was
+		// empty, so its watermarks are zero and every adopted record
+		// counts as new against them.
+		c.ckpt = ck
 		*o = Collector{}
 		return
 	}
@@ -1149,5 +1170,6 @@ func (c *Collector) Unique64s() int { return c.p64s.len() }
 func (c *Collector) MemoryFootprint() uint64 {
 	return c.addrRecs.bytes() + c.iidRecs.bytes() + c.spans.bytes() +
 		uint64(len(c.addrIdx))*4 + uint64(len(c.iidIdx))*4 +
-		c.p48s.bytes() + c.p64s.bytes()
+		c.p48s.bytes() + c.p64s.bytes() +
+		c.ckpt.dirtyAddr.bytes() + c.ckpt.dirtyIID.bytes() + c.ckpt.dirtySpan.bytes()
 }

@@ -357,6 +357,9 @@ func OpenSnapshot(r io.Reader) (*Collector, error) {
 	if err := c.rebuildIndexes(singles); err != nil {
 		return nil, fmt.Errorf("collector: snapshot: %w", err)
 	}
+	// The restored state IS the checkpoint at chain position 0: deltas
+	// written from here chain onto the snapshot just read.
+	c.markClean(0)
 	return c, nil
 }
 
@@ -573,16 +576,25 @@ func (c *Collector) rebuildIndexes(singles []uint32) error {
 		}
 	}
 
-	// Span-chain accounting: every span node belongs to exactly one
-	// promoted IID's chain, every chain is acyclic, and each entry's p64n
-	// matches its chain length. Together with the per-entry bounds checks
-	// at load time this makes every reachable spans.at call safe.
+	return c.validateSpans()
+}
+
+// validateSpans performs the span-chain accounting restore paths rely
+// on: every span node belongs to exactly one promoted IID's chain,
+// every chain is acyclic and in-bounds, and each entry's p64n matches
+// its chain length. Together with per-entry bounds checks at load time
+// this makes every reachable spans.at call safe. Shared by the full
+// snapshot rebuild and the delta apply path.
+func (c *Collector) validateSpans() error {
 	visited := make([]bool, c.spans.n)
 	accounted := uint32(0)
 	for i := uint32(0); i < c.iidRecs.n; i++ {
 		e := c.iidRecs.at(i)
 		length := uint32(0)
 		for si := e.spans; si != spanNone; si = c.spans.at(si).next {
+			if si >= c.spans.n {
+				return fmt.Errorf("IID %016x chains span %d out of %d", uint64(e.key), si, c.spans.n)
+			}
 			if visited[si] {
 				return fmt.Errorf("span %d shared or cyclic in IID %016x's chain", si, uint64(e.key))
 			}

@@ -106,6 +106,49 @@ func (s *Store) Snapshot(w io.Writer) error {
 	return s.c.Snapshot(w)
 }
 
+// CheckpointFull writes a full snapshot and advances the delta-chain
+// watermark to sequence 0, atomically with respect to ApplyShard: the
+// write lock is held across both, so no observation can land between
+// the bytes and the mark and silently escape the next delta. The caller
+// must make the bytes durable before relying on the chain (the ingest
+// layer writes through AtomicWriteFile).
+//
+//lint:durable-path full checkpoints anchor the delta chain
+func (s *Store) CheckpointFull(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.c.Snapshot(w); err != nil {
+		return err
+	}
+	s.c.MarkCheckpointedFull()
+	return nil
+}
+
+// CheckpointDelta writes the blocks dirtied since the last checkpoint
+// and advances the chain sequence, under the same write-lock atomicity
+// as CheckpointFull. It fails if no base checkpoint exists; on write
+// error the watermark does not advance, so the caller can fall back to
+// a full checkpoint without losing anything.
+//
+//lint:durable-path delta checkpoints extend the chain
+func (s *Store) CheckpointDelta(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.c.SnapshotDelta(w); err != nil {
+		return err
+	}
+	s.c.MarkCheckpointedDelta()
+	return nil
+}
+
+// CheckpointSeq returns the merged corpus's checkpoint chain position
+// (see Collector.CheckpointSeq).
+func (s *Store) CheckpointSeq() (uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.c.CheckpointSeq()
+}
+
 // Detach returns the merged Collector and resets the store to empty. It
 // is how a finished ingest run hands the corpus to the (single-threaded)
 // analysis layer without copying: after Detach the caller owns the

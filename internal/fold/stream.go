@@ -1,0 +1,66 @@
+package fold
+
+// Stream is the bounded-readahead pipeline behind the streaming report
+// path: process(i, v) runs strictly in ascending i order — the property
+// every canonical-order consumer (checksums, figure folds, snapshot
+// walks) needs for bit-identical output — while load(i) runs
+// concurrently up to readahead items past the consumer. The window is
+// what bounds memory when the items are corpus chunks paged off a
+// snapshot file: at most readahead+1 loaded items exist outside the
+// consumer at any instant.
+//
+// The first error from either side stops the pipeline: later loads may
+// still be in flight when Stream returns, but their results are
+// discarded and process is never called past the failed index.
+func Stream[T any](n, readahead int, load func(i int) (T, error), process func(i int, v T) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if readahead < 1 {
+		readahead = 1
+	}
+	if readahead > n {
+		readahead = n
+	}
+
+	type slot struct {
+		v   T
+		err error
+	}
+	// A channel of per-index result channels: the dispatcher blocks once
+	// readahead results are pending, so at most readahead+1 loads run
+	// ahead of the consumer, and the consumer drains in index order no
+	// matter what order the loads complete in.
+	pending := make(chan chan slot, readahead)
+	stop := make(chan struct{})
+	defer close(stop)
+
+	go func() {
+		defer close(pending)
+		for i := 0; i < n; i++ {
+			c := make(chan slot, 1)
+			select {
+			case pending <- c:
+			case <-stop:
+				return
+			}
+			go func(i int, c chan slot) {
+				v, err := load(i)
+				c <- slot{v: v, err: err}
+			}(i, c)
+		}
+	}()
+
+	i := 0
+	for c := range pending {
+		s := <-c
+		if s.err != nil {
+			return s.err
+		}
+		if err := process(i, s.v); err != nil {
+			return err
+		}
+		i++
+	}
+	return nil
+}

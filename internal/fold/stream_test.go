@@ -1,0 +1,135 @@
+package fold
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStreamOrder(t *testing.T) {
+	// Loads complete out of order (later indices finish first); process
+	// must still see strictly ascending indices with the right values.
+	const n = 64
+	var got []int
+	err := Stream(n, 8,
+		func(i int) (int, error) {
+			time.Sleep(time.Duration((n-i)%7) * time.Millisecond)
+			return i * 3, nil
+		},
+		func(i, v int) error {
+			if v != i*3 {
+				t.Fatalf("process(%d) got %d", i, v)
+			}
+			got = append(got, i)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("processed %d of %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("index %d processed at position %d", v, i)
+		}
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	if err := Stream(0, 4,
+		func(int) (int, error) { t.Fatal("load called"); return 0, nil },
+		func(int, int) error { t.Fatal("process called"); return nil },
+	); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamBoundedReadahead blocks the consumer and counts how far the
+// loads run ahead: the window is the memory bound the pager relies on.
+func TestStreamBoundedReadahead(t *testing.T) {
+	const n, readahead = 100, 3
+	var inFlight, maxAhead atomic.Int64
+	release := make(chan struct{})
+	var once sync.Once
+	err := Stream(n, readahead,
+		func(i int) (int, error) {
+			cur := inFlight.Add(1)
+			for {
+				old := maxAhead.Load()
+				if cur <= old || maxAhead.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			return i, nil
+		},
+		func(i, v int) error {
+			once.Do(func() {
+				// Hold the first item long enough for the dispatcher to run
+				// as far ahead as it ever will.
+				time.Sleep(50 * time.Millisecond)
+				close(release)
+			})
+			<-release
+			inFlight.Add(-1)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At most readahead results pending plus one in the consumer's hand,
+	// plus one load racing its pending-channel send.
+	if m := maxAhead.Load(); m > readahead+2 {
+		t.Fatalf("loads ran %d ahead, window is %d", m, readahead)
+	}
+}
+
+func TestStreamLoadError(t *testing.T) {
+	boom := errors.New("boom")
+	var processed atomic.Int64
+	err := Stream(50, 4,
+		func(i int) (int, error) {
+			if i == 20 {
+				return 0, boom
+			}
+			return i, nil
+		},
+		func(i, v int) error {
+			if i >= 20 {
+				t.Fatalf("process(%d) ran past the failed load", i)
+			}
+			processed.Add(1)
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if processed.Load() != 20 {
+		t.Fatalf("processed %d items before the failure, want 20", processed.Load())
+	}
+}
+
+func TestStreamProcessError(t *testing.T) {
+	halt := errors.New("halt")
+	loads := atomic.Int64{}
+	err := Stream(1000, 2,
+		func(i int) (int, error) {
+			loads.Add(1)
+			return i, nil
+		},
+		func(i, v int) error {
+			if i == 5 {
+				return halt
+			}
+			return nil
+		})
+	if !errors.Is(err, halt) {
+		t.Fatalf("err = %v, want %v", err, halt)
+	}
+	// Early abort must not dispatch the whole range.
+	if l := loads.Load(); l > 20 {
+		t.Fatalf("%d loads dispatched after an abort at index 5", l)
+	}
+}

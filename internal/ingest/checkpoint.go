@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"hitlist6/internal/collector"
@@ -87,6 +88,140 @@ func (p *Pipeline) CheckpointFile(path string) (int64, error) {
 	p.tel.checkpointTime.ObserveDuration(time.Since(start))
 	p.tel.checkpointVolume.Observe(float64(size))
 	return size, nil
+}
+
+// deltaPath names the chain file carrying delta sequence seq.
+func deltaPath(base string, seq uint64) string {
+	return fmt.Sprintf("%s.delta.%06d", base, seq)
+}
+
+// CheckpointChain writes one checkpoint in the delta-chain protocol: a
+// full snapshot to path when the chain needs (re)anchoring — no base
+// yet, a previous write left the watermark ahead of the disk, or
+// Config.CompactEvery deltas have accumulated — and otherwise only the
+// record blocks dirtied since the last checkpoint, to
+// path.delta.NNNNNN. Every file goes through AtomicWriteFile, so a torn
+// write never shadows an earlier good one; a full checkpoint deletes
+// the previous chain's delta files, which its base supersedes.
+//
+//lint:durable-path the chain protocol is what a crashed daemon restarts from
+func (p *Pipeline) CheckpointChain(path string) (int64, error) {
+	p.ckptMu.Lock()
+	defer p.ckptMu.Unlock()
+	start := time.Now()
+
+	seq, based := p.store.CheckpointSeq()
+	full := !based || p.chainBroken || seq >= uint64(p.cfg.CompactEvery)
+
+	// marked tracks whether the corpus watermark advanced inside the
+	// write: if it did and the file still failed (flush, fsync, rename),
+	// the in-memory chain position is ahead of the disk and only a fresh
+	// full checkpoint can re-anchor it.
+	marked := false
+	target := path
+	write := func(w io.Writer) error {
+		p.Quiesce()
+		var err error
+		if full {
+			err = p.store.CheckpointFull(w)
+		} else {
+			err = p.store.CheckpointDelta(w)
+		}
+		if err == nil {
+			marked = true
+		}
+		return err
+	}
+	if !full {
+		target = deltaPath(path, seq+1)
+	}
+	size, err := AtomicWriteFile(target, write)
+	if err != nil {
+		if marked {
+			p.chainBroken = true
+		}
+		return 0, fmt.Errorf("ingest: checkpoint %s: %w", target, err)
+	}
+	if full {
+		p.chainBroken = false
+		removeChainDeltas(path)
+	} else {
+		p.metrics.deltaCheckpoints.Add(1)
+	}
+	p.metrics.checkpoints.Add(1)
+	p.metrics.lastCheckpointUnix.Set(time.Now().Unix())
+	p.metrics.lastCheckpointBytes.Set(size)
+	p.tel.checkpointTime.ObserveDuration(time.Since(start))
+	p.tel.checkpointVolume.Observe(float64(size))
+	return size, nil
+}
+
+// chainDeltaFiles maps delta sequence numbers to their files. Names
+// that don't parse as a sequence (AtomicWriteFile temp litter from a
+// crash) are not part of the chain and are ignored.
+func chainDeltaFiles(path string) map[uint64]string {
+	matches, _ := filepath.Glob(path + ".delta.*")
+	files := make(map[uint64]string, len(matches))
+	for _, m := range matches {
+		suffix := m[len(path)+len(".delta."):]
+		seq, err := strconv.ParseUint(suffix, 10, 64)
+		if err != nil || seq == 0 {
+			continue
+		}
+		files[seq] = m
+	}
+	return files
+}
+
+// removeChainDeltas best-effort deletes a superseded chain's delta
+// files. A leftover is harmless: restore validates every delta against
+// its parent, and a stale one fails that check instead of applying.
+func removeChainDeltas(path string) {
+	for _, f := range chainDeltaFiles(path) {
+		os.Remove(f)
+	}
+}
+
+// RestoreChainFiles loads a base checkpoint plus its delta chain: the
+// restore half of CheckpointChain. Like RestoreFile, a missing base
+// with no deltas is the empty start (nil, nil); deltas without a base,
+// a gap in the sequence, or a delta that fails validation are errors —
+// the chain is not trustworthy and the caller decides whether to start
+// empty.
+func RestoreChainFiles(path string) (*collector.Collector, error) {
+	deltas := chainDeltaFiles(path)
+	c, err := RestoreFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if c == nil {
+		if len(deltas) > 0 {
+			return nil, fmt.Errorf("ingest: restore %s: %d delta files but no base checkpoint", path, len(deltas))
+		}
+		return nil, nil
+	}
+	maxSeq := uint64(0)
+	for seq := range deltas {
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	for seq := uint64(1); seq <= maxSeq; seq++ {
+		dp, ok := deltas[seq]
+		if !ok {
+			return nil, fmt.Errorf("ingest: restore %s: delta %06d missing from a chain of %d", path, seq, maxSeq)
+		}
+		f, err := os.Open(dp)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: restore %s: %w", dp, err)
+		}
+		err = c.ApplyDelta(bufio.NewReaderSize(f, 1<<20))
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("ingest: restore %s: %w", dp, err)
+		}
+	}
+	return c, nil
 }
 
 // RestoreFile loads a checkpoint written by CheckpointFile. A missing

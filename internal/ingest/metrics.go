@@ -21,6 +21,7 @@ type Metrics struct {
 	// Durable-checkpoint telemetry (CheckpointFile and the periodic
 	// checkpoint ticker).
 	checkpoints         *telemetry.Counter
+	deltaCheckpoints    *telemetry.Counter
 	checkpointErrors    *telemetry.Counter
 	lastCheckpointUnix  *telemetry.Gauge
 	lastCheckpointBytes *telemetry.Gauge
@@ -66,6 +67,7 @@ func (p *Pipeline) initTelemetry(reg *telemetry.Registry) {
 	m.batches = reg.Counter("ingest_batches_total", "Batches handed to shard queues.")
 	m.snapshots = reg.Counter("ingest_snapshots_merged_total", "Shard snapshots merged into the store.")
 	m.checkpoints = reg.Counter("ingest_checkpoints_total", "Durable corpus checkpoints written.")
+	m.deltaCheckpoints = reg.Counter("ingest_delta_checkpoints_total", "Checkpoints written as chain deltas (subset of the total).")
 	m.checkpointErrors = reg.Counter("ingest_checkpoint_errors_total", "Failed checkpoint attempts.")
 	m.lastCheckpointUnix = reg.Gauge("ingest_last_checkpoint_unix", "Unix time of the newest good checkpoint.")
 	m.lastCheckpointBytes = reg.Gauge("ingest_last_checkpoint_bytes", "Size of the newest good checkpoint.")
@@ -138,7 +140,13 @@ type MetricsSnapshot struct {
 	// CheckpointErrors failed attempts (full disk, bad path). The Last*
 	// pair describes the newest good checkpoint — a serving daemon's
 	// "how much would a crash lose right now" gauge.
-	Checkpoints         uint64 `json:"checkpoints"`
+	Checkpoints uint64 `json:"checkpoints"`
+	// DeltaCheckpoints is the subset of Checkpoints written as chain
+	// deltas (Config.DeltaCheckpoints); ChainSeq is the corpus's position
+	// in the current chain — 0 right after a full checkpoint, N after N
+	// deltas on that base.
+	DeltaCheckpoints    uint64 `json:"delta_checkpoints,omitempty"`
+	ChainSeq            uint64 `json:"chain_seq,omitempty"`
 	CheckpointErrors    uint64 `json:"checkpoint_errors"`
 	LastCheckpointUnix  int64  `json:"last_checkpoint_unix,omitempty"`
 	LastCheckpointBytes uint64 `json:"last_checkpoint_bytes,omitempty"`
@@ -172,6 +180,7 @@ func (p *Pipeline) Metrics() MetricsSnapshot {
 	if n := p.store.NumAddrs(); n > 0 {
 		bytesPerAddr = float64(corpusBytes) / float64(n)
 	}
+	chainSeq, _ := p.store.CheckpointSeq()
 	return MetricsSnapshot{
 		Enqueued:            p.metrics.enqueued.Value(),
 		Dropped:             p.metrics.dropped.Value(),
@@ -184,6 +193,8 @@ func (p *Pipeline) Metrics() MetricsSnapshot {
 		CorpusBytes:         corpusBytes,
 		BytesPerAddr:        bytesPerAddr,
 		Checkpoints:         p.metrics.checkpoints.Value(),
+		DeltaCheckpoints:    p.metrics.deltaCheckpoints.Value(),
+		ChainSeq:            chainSeq,
 		CheckpointErrors:    p.metrics.checkpointErrors.Value(),
 		LastCheckpointUnix:  p.metrics.lastCheckpointUnix.Value(),
 		LastCheckpointBytes: uint64(p.metrics.lastCheckpointBytes.Value()),

@@ -42,6 +42,13 @@ type Pipeline struct {
 	closeOnce sync.Once
 	result    *collector.Collector
 
+	// ckptMu serializes delta-chain checkpoints (the ticker plus any on
+	// -demand CheckpointChain calls); chainBroken forces the next chain
+	// checkpoint to be full after a write advanced the corpus's watermark
+	// without landing durably on disk.
+	ckptMu      sync.Mutex
+	chainBroken bool
+
 	// free recycles batch backing arrays between producers and workers.
 	// A plain channel, not a sync.Pool: Put-ting a slice into a Pool
 	// boxes the slice header into an interface — one heap allocation per
@@ -449,7 +456,13 @@ func (p *Pipeline) runCheckpointTicker(every time.Duration) {
 	for {
 		select {
 		case <-t.C:
-			if _, err := p.CheckpointFile(p.cfg.CheckpointPath); err != nil {
+			var err error
+			if p.cfg.DeltaCheckpoints {
+				_, err = p.CheckpointChain(p.cfg.CheckpointPath)
+			} else {
+				_, err = p.CheckpointFile(p.cfg.CheckpointPath)
+			}
+			if err != nil {
 				p.metrics.checkpointErrors.Add(1)
 			}
 		case <-p.stopTick:

@@ -1,0 +1,142 @@
+package pager
+
+import (
+	"io"
+	"testing"
+
+	"hitlist6/internal/addr"
+	"hitlist6/internal/collector"
+)
+
+// countWriter measures a snapshot's size without holding it.
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// BenchmarkDeltaCheckpoint compares the delta checkpoint against the
+// full snapshot it replaces on a lightly-dirtied corpus — the steady
+// -state checkpoint workload. SetBytes carries the written size, so the
+// MB/s column is checkpoint throughput and the delta/full ns ratio is
+// the headline win.
+func BenchmarkDeltaCheckpoint(b *testing.B) {
+	build := func() *collector.Collector {
+		c := collector.New()
+		feedEvents(c, 0, 200000)
+		c.MarkCheckpointedFull()
+		// Re-observe a small slice: the light dirtying a checkpoint
+		// interval accumulates.
+		feedEvents(c, 1000, 2000)
+		return c
+	}
+	b.Run("mode=delta", func(b *testing.B) {
+		c := build()
+		var w countWriter
+		if err := c.SnapshotDelta(&w); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(w.n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := c.SnapshotDelta(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mode=full", func(b *testing.B) {
+		c := build()
+		var w countWriter
+		if err := c.Snapshot(&w); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(w.n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := c.Snapshot(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkColdContains measures point lookups against an effectively
+// all-cold corpus (budget = one chunk): the miss case is the filter
+// fast path — fence search plus bloom probes, no I/O — and the hit case
+// pays a full cold chunk load, the honest worst-case probe.
+func BenchmarkColdContains(b *testing.B) {
+	c := collector.New()
+	feedEvents(c, 0, 200000)
+	path := writeTierFile(b, c)
+
+	var present []addr.Addr
+	c.AddrsCanonical(func(a addr.Addr, _ collector.AddrRecord) bool {
+		present = append(present, a)
+		return true
+	})
+	var absent []addr.Addr
+	for i := 0; len(absent) < 4096; i++ {
+		a := present[int(tmix(uint64(i))%uint64(len(present)))]
+		a[15] ^= byte(tmix(uint64(i)+7)) | 1
+		if _, ok := c.Get(a); !ok {
+			absent = append(absent, a)
+		}
+	}
+
+	b.Run("filter=miss", func(b *testing.B) {
+		pc := openOrDie(b, path, Options{RAMBudget: chunkBytes})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ok, err := pc.Contains(absent[i&4095])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ok {
+				b.Fatal("absent key reported present")
+			}
+		}
+	})
+	b.Run("filter=hit", func(b *testing.B) {
+		pc := openOrDie(b, path, Options{RAMBudget: chunkBytes})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := present[int(tmix(uint64(i))%uint64(len(present)))]
+			ok, err := pc.Contains(a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				b.Fatal("present key reported absent")
+			}
+		}
+	})
+}
+
+// BenchmarkStreamingReport measures the streaming fold rate off an all
+// -cold corpus: every address record walked in canonical order with
+// bounded readahead, the access pattern Report() and the figure folds
+// use when the corpus does not fit the budget.
+func BenchmarkStreamingReport(b *testing.B) {
+	c := collector.New()
+	feedEvents(c, 0, 200000)
+	path := writeTierFile(b, c)
+	pc := openOrDie(b, path, Options{RAMBudget: chunkBytes})
+	n := pc.NumAddrs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var obs uint64
+		err := pc.StreamAddrs(func(_ addr.Addr, r collector.AddrRecord) bool {
+			obs += uint64(r.Count)
+			return true
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if obs != pc.TotalObservations() {
+			b.Fatalf("fold saw %d observations of %d", obs, pc.TotalObservations())
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "addrs/sec")
+}

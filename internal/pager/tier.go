@@ -1,0 +1,207 @@
+// Package pager implements the tiered corpus: a sealed collector
+// serialized as fixed-size canonical-order chunks that can live
+// resident in RAM or cold on the snapshot file, paged in on demand
+// under a configurable budget. The tier file "h6tier01" is a snapfmt
+// stream:
+//
+//	meta      — total, address count, chunk geometry, IID byte length
+//	directory — per chunk: record count, key-range fence, bloom filter
+//	iids      — the canonical IID encoding, verbatim (resident tier)
+//	chunk*    — per chunk: the address records in canonical order
+//	end
+//
+// Address records dominate the corpus (the IID tier is a small
+// fraction), so only chunks are paged; the directory and IID bytes stay
+// resident. Chunk payload offsets are not stored — they are arithmetic
+// over the directory's record counts, so Open reads only the resident
+// sections and never touches chunk data. Each chunk section carries its
+// own CRC, verified on every cold load.
+//
+//lint:durable-path the tier file is the cold half of the corpus
+package pager
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+
+	"hitlist6/internal/addr"
+	"hitlist6/internal/collector"
+	"hitlist6/internal/snapfmt"
+)
+
+const (
+	tierMagic   = "h6tier01"
+	tierVersion = 1
+
+	secTierMeta  = 1
+	secTierDir   = 2
+	secTierIIDs  = 3
+	secTierChunk = 4
+
+	// tierMetaWire: total u64, addrN u64, chunkRecs u32, chunkCount u32,
+	// iidBytes u64.
+	tierMetaWire = 32
+	// tierRecWire is one address record on the wire: key[16], first u64,
+	// last u64, count u32, servers u32 — the snapshot layout, reused so a
+	// chunk is pure fixed-stride records.
+	tierRecWire = 40
+	// tierDirFixed is a directory entry minus its bloom words: n u32,
+	// minKey[16], maxKey[16], bloomWords u32.
+	tierDirFixed = 40
+
+	// TierChunkRecs is the number of address records per chunk: small
+	// enough that a cold point lookup reads ~160KB, large enough that a
+	// streaming scan is a handful of sequential preads per MB.
+	TierChunkRecs = 4096
+
+	// tierSectionOverhead frames every chunk section: 12-byte header plus
+	// 4-byte CRC.
+	tierSectionOverhead = 16
+)
+
+// WriteTier serializes c as a tier file. Chunks are cut from the
+// canonical address order, so chunk key ranges are disjoint and sorted
+// — the property the directory fence search relies on. Two passes over
+// the sorted corpus: the first builds the directory (counts, fences,
+// blooms), the second streams the chunk payloads, so nothing but the
+// directory is buffered.
+func WriteTier(c *collector.Collector, w io.Writer) error {
+	var iidBuf bytes.Buffer
+	if err := c.WriteCanonicalIIDs(&iidBuf); err != nil {
+		return err
+	}
+	n := c.NumAddrs()
+	chunks := (n + TierChunkRecs - 1) / TierChunkRecs
+
+	type dirEnt struct {
+		n        uint32
+		min, max addr.Addr
+		bloom    []uint64
+	}
+	dir := make([]dirEnt, chunks)
+	i := 0
+	c.AddrsCanonical(func(a addr.Addr, _ collector.AddrRecord) bool {
+		d := &dir[i/TierChunkRecs]
+		if d.n == 0 {
+			d.min = a
+			left := n - (i / TierChunkRecs * TierChunkRecs)
+			d.bloom = newBloom(min(left, TierChunkRecs))
+		}
+		d.max = a
+		d.n++
+		bloomAdd(d.bloom, a)
+		i++
+		return true
+	})
+
+	sw, err := snapfmt.NewWriter(w, tierMagic, tierVersion)
+	if err != nil {
+		return err
+	}
+	if err := sw.Begin(secTierMeta, tierMetaWire); err != nil {
+		return err
+	}
+	var meta [tierMetaWire]byte
+	binary.BigEndian.PutUint64(meta[0:], c.TotalObservations())
+	binary.BigEndian.PutUint64(meta[8:], uint64(n))
+	binary.BigEndian.PutUint32(meta[16:], TierChunkRecs)
+	binary.BigEndian.PutUint32(meta[20:], uint32(chunks))
+	binary.BigEndian.PutUint64(meta[24:], uint64(iidBuf.Len()))
+	if _, err := sw.Write(meta[:]); err != nil {
+		return err
+	}
+	if err := sw.End(); err != nil {
+		return err
+	}
+
+	dirSize := uint64(0)
+	for _, d := range dir {
+		dirSize += tierDirFixed + uint64(len(d.bloom))*8
+	}
+	if err := sw.Begin(secTierDir, dirSize); err != nil {
+		return err
+	}
+	var ds []byte
+	for _, d := range dir {
+		ds = ds[:0]
+		ds = binary.BigEndian.AppendUint32(ds, d.n)
+		ds = append(ds, d.min[:]...)
+		ds = append(ds, d.max[:]...)
+		ds = binary.BigEndian.AppendUint32(ds, uint32(len(d.bloom)))
+		for _, word := range d.bloom {
+			ds = binary.BigEndian.AppendUint64(ds, word)
+		}
+		if _, err := sw.Write(ds); err != nil {
+			return err
+		}
+	}
+	if err := sw.End(); err != nil {
+		return err
+	}
+
+	if err := sw.Begin(secTierIIDs, uint64(iidBuf.Len())); err != nil {
+		return err
+	}
+	if _, err := sw.Write(iidBuf.Bytes()); err != nil {
+		return err
+	}
+	if err := sw.End(); err != nil {
+		return err
+	}
+
+	// Second pass: the chunk payloads, one section per chunk.
+	var (
+		buf      []byte
+		ci       = -1
+		writeErr error
+	)
+	flushChunk := func() {
+		if ci < 0 || writeErr != nil {
+			return
+		}
+		if writeErr = sw.Begin(secTierChunk, uint64(len(buf))); writeErr != nil {
+			return
+		}
+		if _, writeErr = sw.Write(buf); writeErr != nil {
+			return
+		}
+		writeErr = sw.End()
+	}
+	i = 0
+	c.AddrsCanonical(func(a addr.Addr, r collector.AddrRecord) bool {
+		if i/TierChunkRecs != ci {
+			flushChunk()
+			ci = i / TierChunkRecs
+			buf = buf[:0]
+		}
+		buf = append(buf, a[:]...)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(r.First))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(r.Last))
+		buf = binary.BigEndian.AppendUint32(buf, r.Count)
+		buf = binary.BigEndian.AppendUint32(buf, r.Servers)
+		i++
+		return writeErr == nil
+	})
+	flushChunk()
+	if writeErr != nil {
+		return writeErr
+	}
+	return sw.Close()
+}
+
+// decodeRec unpacks one tierRecWire record.
+func decodeRec(b []byte) (addr.Addr, collector.AddrRecord) {
+	var a addr.Addr
+	copy(a[:], b[0:16])
+	return a, collector.AddrRecord{
+		First:   int64(binary.BigEndian.Uint64(b[16:])),
+		Last:    int64(binary.BigEndian.Uint64(b[24:])),
+		Count:   binary.BigEndian.Uint32(b[32:]),
+		Servers: binary.BigEndian.Uint32(b[36:]),
+	}
+}
+
+// chunkPayloadSize returns the payload bytes of a chunk holding n
+// records.
+func chunkPayloadSize(n uint32) int64 { return int64(n) * tierRecWire }

@@ -238,12 +238,31 @@ func runScenario(p *workload.Profile, opts Options) (*Scenario, error) {
 				record(out.cell, out)
 			}
 		}
+		if p.Tiered && !opts.SkipDurable {
+			for _, queue := range opts.Queues {
+				out, err := runCell(p, st, maxShards, queue, "delta-restore")
+				if err != nil {
+					return nil, err
+				}
+				if err := check(out.cell, out); err != nil {
+					return nil, err
+				}
+				record(out.cell, out)
+			}
+		}
 		if p.Hints.DropRun && !opts.SkipDrop {
 			out, err := runCell(p, st, maxShards, "chan", "drop")
 			if err != nil {
 				return nil, err
 			}
 			record(out.cell, out)
+		}
+		if p.Tiered && want != nil {
+			cells, err := tierLegs(st, want)
+			if err != nil {
+				return nil, err
+			}
+			sc.Cells = append(sc.Cells, cells...)
 		}
 	}
 
@@ -292,10 +311,12 @@ func cellID(c Cell) string {
 }
 
 // cellOutcome carries one cell's full result between assertion and
-// recording.
+// recording. col is the cell's final corpus, which the tier legs re-read
+// through internal/pager.
 type cellOutcome struct {
 	cell   Cell
 	report []byte
+	col    *collector.Collector
 }
 
 // cellConfig builds the pipeline config for one cell.
@@ -355,6 +376,12 @@ func runCell(p *workload.Profile, st *workload.Stream, shards int, queue, mode s
 			return nil, err
 		}
 		final = pl
+	case "delta-restore":
+		pl, err := deltaRestoreCell(p, st, shards, queue)
+		if err != nil {
+			return nil, err
+		}
+		final = pl
 	default:
 		return nil, fmt.Errorf("matrix: unknown cell mode %q", mode)
 	}
@@ -394,7 +421,7 @@ func runCell(p *workload.Profile, st *workload.Stream, shards int, queue, mode s
 	report := renderReport(st, col, final, &cell)
 	rs := sha256.Sum256(report)
 	cell.ReportSum = hex.EncodeToString(rs[:])
-	return &cellOutcome{cell: cell, report: report}, nil
+	return &cellOutcome{cell: cell, report: report, col: col}, nil
 }
 
 // restoreCell is the durable leg: feed half the stream, checkpoint

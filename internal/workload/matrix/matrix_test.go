@@ -57,6 +57,13 @@ func TestMatrixReduced(t *testing.T) {
 		if p.Hints.DropRun && modes["drop"] == 0 {
 			t.Errorf("%s: drop-hinted profile ran no drop cells", sc.Profile)
 		}
+		if p.Tiered {
+			for _, m := range []string{"delta-restore", "tier-resident", "tier-budget", "tier-cold"} {
+				if modes[m] == 0 {
+					t.Errorf("%s: tiered profile ran no %s cells", sc.Profile, m)
+				}
+			}
+		}
 	}
 }
 

@@ -1,0 +1,210 @@
+// The tiered-corpus matrix legs (profiles marked workload.Profile
+// .Tiered): the delta-restore cell runs the chain protocol's
+// checkpoint-mid-stream split through the determinism assertion, and
+// the tier legs re-read the asserted corpus through internal/pager —
+// fully resident, budget-constrained, and all-cold — requiring the
+// byte-identical canonical checksum from every residency mode plus the
+// cold path's filter-skip bar.
+package matrix
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hitlist6/internal/addr"
+	"hitlist6/internal/collector"
+	"hitlist6/internal/ingest"
+	"hitlist6/internal/pager"
+	"hitlist6/internal/telemetry"
+	"hitlist6/internal/workload"
+)
+
+// deltaRestoreCell is the chain-protocol leg: feed half the stream,
+// write a full checkpoint, feed to three quarters, write a delta of the
+// dirtied blocks, restore base+delta into a fresh pipeline (stages via
+// SeedStage, exactly like restoreCell), and feed the rest. Its corpus
+// and report must be byte-identical to the straight run's.
+func deltaRestoreCell(p *workload.Profile, st *workload.Stream, shards int, queue string) (*ingest.Pipeline, error) {
+	cell := Cell{Profile: p.Name, Shards: shards, Queue: queue, Seed: st.Seed, Mode: "delta-restore"}
+	half := len(st.Events) / 2
+	threeQ := half + len(st.Events)/4
+
+	first, err := ingest.New(cellConfig(p, st, shards, queue, false))
+	if err != nil {
+		return nil, fmt.Errorf("matrix: %s: %w", cellID(cell), err)
+	}
+	first.Ingest(st.Events[:half])
+	first.Quiesce()
+	var base bytes.Buffer
+	bw := bufio.NewWriter(&base)
+	if err := first.Store().CheckpointFull(bw); err != nil {
+		return nil, fmt.Errorf("matrix: %s: full checkpoint: %w", cellID(cell), err)
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+
+	first.Ingest(st.Events[half:threeQ])
+	first.Quiesce()
+	var delta bytes.Buffer
+	dw := bufio.NewWriter(&delta)
+	if err := first.Store().CheckpointDelta(dw); err != nil {
+		return nil, fmt.Errorf("matrix: %s: delta checkpoint: %w", cellID(cell), err)
+	}
+	if err := dw.Flush(); err != nil {
+		return nil, err
+	}
+	// Close after the delta: the first pipeline's merged stage state is
+	// exactly the restore point's, so SeedStage below hands the second
+	// pipeline what a crash recovery would rebuild.
+	first.Close()
+	if delta.Len() == 0 {
+		return nil, fmt.Errorf("matrix: %s: empty delta checkpoint", cellID(cell))
+	}
+
+	restored, err := collector.RestoreChain(bufio.NewReader(&base), bufio.NewReader(&delta))
+	if err != nil {
+		return nil, fmt.Errorf("matrix: %s: chain restore: %w", cellID(cell), err)
+	}
+	cfg := cellConfig(p, st, shards, queue, false)
+	cfg.Seed = restored
+	second, err := ingest.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("matrix: %s: %w", cellID(cell), err)
+	}
+	for _, name := range []string{"categories", "cardinality", "asns", "outage"} {
+		stg := first.Stage(name)
+		if stg == nil {
+			continue
+		}
+		if err := second.SeedStage(name, stg); err != nil {
+			return nil, fmt.Errorf("matrix: %s: %w", cellID(cell), err)
+		}
+	}
+	second.Ingest(st.Events[threeQ:])
+	return second, nil
+}
+
+// tierLegs writes the asserted cell's corpus as a tier file and re-reads
+// it through internal/pager at three residency regimes. Each leg must
+// reproduce the byte-identical canonical checksum — the on-disk walk is
+// the same corpus, however little of it is in RAM — and the all-cold
+// leg must additionally skip at least 90% of absent probes on its
+// per-chunk filters without chunk I/O.
+func tierLegs(st *workload.Stream, want *cellOutcome) ([]Cell, error) {
+	col := want.col
+	dir, err := os.MkdirTemp("", "matrix-tier-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "corpus.tier")
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := pager.WriteTier(col, bw); err == nil {
+		err = bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("matrix: %s seed %d: write tier: %w", st.Profile, st.Seed, err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+
+	wantSum := col.Checksum()
+	legs := []struct {
+		mode   string
+		budget int64 // 0 = unlimited; 1 byte = LRU floor of one chunk
+	}{
+		{"tier-resident", 0},
+		{"tier-budget", fi.Size() / 2},
+		{"tier-cold", 1},
+	}
+	var cells []Cell
+	for _, leg := range legs {
+		met := pager.NewMetrics(telemetry.NewRegistry())
+		tc, err := pager.Open(path, pager.Options{RAMBudget: leg.budget, Metrics: met})
+		if err != nil {
+			return nil, fmt.Errorf("matrix: %s seed %d: %s: %w", st.Profile, st.Seed, leg.mode, err)
+		}
+		sum, err := tc.Checksum()
+		if err != nil {
+			tc.Close()
+			return nil, fmt.Errorf("matrix: %s seed %d: %s checksum: %w", st.Profile, st.Seed, leg.mode, err)
+		}
+		if sum != wantSum {
+			tc.Close()
+			return nil, fmt.Errorf("matrix: %s seed %d: %s corpus diverged from the asserted cell", st.Profile, st.Seed, leg.mode)
+		}
+		if tc.NumAddrs() != col.NumAddrs() || tc.TotalObservations() != col.TotalObservations() {
+			tc.Close()
+			return nil, fmt.Errorf("matrix: %s seed %d: %s counts diverged: %d/%d addrs, %d/%d observations",
+				st.Profile, st.Seed, leg.mode, tc.NumAddrs(), col.NumAddrs(), tc.TotalObservations(), col.TotalObservations())
+		}
+		if leg.budget > 0 && tc.ResidentChunks() > 1 && tc.ResidentBytes() > leg.budget {
+			tc.Close()
+			return nil, fmt.Errorf("matrix: %s seed %d: %s resident %d bytes over the %d budget",
+				st.Profile, st.Seed, leg.mode, tc.ResidentBytes(), leg.budget)
+		}
+		if leg.mode == "tier-cold" {
+			if err := probeAbsent(tc, col, met); err != nil {
+				tc.Close()
+				return nil, fmt.Errorf("matrix: %s seed %d: %w", st.Profile, st.Seed, err)
+			}
+		}
+		cells = append(cells, Cell{
+			Profile: st.Profile, Queue: "-", Seed: st.Seed, Mode: leg.mode,
+			Checksum: want.cell.Checksum, Events: len(st.Events), Addrs: tc.NumAddrs(),
+		})
+		tc.Close()
+	}
+	return cells, nil
+}
+
+// probeAbsent drives the cold corpus with absent keys manufactured to
+// land inside chunk key fences (bit-perturbed present addresses, so the
+// bloom filter is the only thing standing between a probe and a chunk
+// load) and asserts the filter-skip bar: at least 90% of the probes
+// resolve without I/O.
+func probeAbsent(tc *pager.Corpus, col *collector.Collector, met *pager.Metrics) error {
+	present := make([]addr.Addr, 0, 2048)
+	col.AddrsCanonical(func(a addr.Addr, _ collector.AddrRecord) bool {
+		present = append(present, a)
+		return len(present) < cap(present)
+	})
+	probes0, skips0, loads0 := met.Probes.Value(), met.Skips.Value(), met.Loads.Value()
+	probed := 0
+	for _, a := range present {
+		b := addr.FromParts(a.Hi(), a.Lo()^0x5a5a)
+		if _, hit := col.Get(b); hit {
+			continue
+		}
+		if _, ok, err := tc.Get(b); err != nil {
+			return fmt.Errorf("tier-cold probe: %w", err)
+		} else if ok {
+			return fmt.Errorf("tier-cold probe: absent address %v found", b)
+		}
+		probed++
+	}
+	probes := met.Probes.Value() - probes0
+	skips := met.Skips.Value() - skips0
+	loads := met.Loads.Value() - loads0
+	if probes != uint64(probed) {
+		return fmt.Errorf("tier-cold probe accounting: %d probes counted for %d Gets", probes, probed)
+	}
+	if skips*10 < probes*9 {
+		return fmt.Errorf("tier-cold filter skipped %d of %d absent probes; want >= 90%% (chunk loads: %d)",
+			skips, probes, loads)
+	}
+	return nil
+}

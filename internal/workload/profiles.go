@@ -325,6 +325,35 @@ func collisionStream(seed int64, size Size) (*Stream, error) {
 	}, nil
 }
 
+// ---- cold-replay ----
+
+// coldReplayStream doubles a paper-shaped world: the full query stream,
+// then the same queries shifted into a second window of equal length
+// (rotated across vantages so server attribution sees fresh spreads).
+// The second pass adds no new addresses — every event is a re-sighting
+// — which is exactly the regime the delta-chain checkpoints and the
+// tiered corpus were built for: dirtied blocks stay a fraction of the
+// corpus, and cold reads walk records that almost all carry multi-
+// sighting state.
+func coldReplayStream(seed int64, size Size) (*Stream, error) {
+	cfg := simnet.DefaultConfig(seed, size.Scale)
+	cfg.Days = size.Days
+	st, err := materialize(cfg, 6*time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	shift := st.End.Unix() - st.Origin.Unix()
+	replay := make([]ingest.Event, len(st.Events))
+	for i, ev := range st.Events {
+		ev.Time += shift
+		ev.Server = int32((int(ev.Server) + 13) % NumVantages)
+		replay[i] = ev
+	}
+	st.Events = append(st.Events, replay...)
+	st.End = st.End.Add(time.Duration(shift) * time.Second)
+	return st, nil
+}
+
 // ---- backpressure ----
 
 // backpressureStream is a dense paper-shaped world whose matrix cells

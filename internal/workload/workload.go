@@ -112,7 +112,12 @@ type Profile struct {
 	// Durable marks profiles whose matrix run also exercises the
 	// checkpoint-mid-stream → restore → finish split.
 	Durable bool
-	Hints   RunHints
+	// Tiered marks profiles whose matrix run additionally exercises the
+	// larger-than-RAM corpus paths: a checkpoint-mid-stream →
+	// delta-restore leg and the tier legs (the corpus re-read through
+	// internal/pager fully resident, budget-constrained, and all-cold).
+	Tiered bool
+	Hints  RunHints
 
 	generate func(seed int64, size Size) (*Stream, error)
 }
@@ -175,6 +180,17 @@ var profiles = []*Profile{
 			"worst-case open-addressing probe runs in the collector index and " +
 			"maximal shard-hash skew (the cluster lands on one shard).",
 		generate: collisionStream,
+	},
+	{
+		Name: "cold-replay",
+		Description: "Paper-shaped world replayed twice — a full pass, then a " +
+			"re-observation pass over the same addresses in a second window: " +
+			"re-sightings dominate, so delta checkpoints carry only dirtied " +
+			"blocks and the tier legs re-read a mostly-multi-sighting corpus " +
+			"resident, budget-constrained, and all-cold.",
+		Durable:  true,
+		Tiered:   true,
+		generate: coldReplayStream,
 	},
 	{
 		Name: "backpressure",

@@ -9,9 +9,9 @@ import (
 )
 
 // TestCatalog pins the profile roster the matrix, CLI and bench report
-// all enumerate: six named profiles in a fixed presentation order.
+// all enumerate: seven named profiles in a fixed presentation order.
 func TestCatalog(t *testing.T) {
-	want := []string{"paper", "churn", "eui64-dense", "outage-storm", "collision", "backpressure"}
+	want := []string{"paper", "churn", "eui64-dense", "outage-storm", "collision", "cold-replay", "backpressure"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("catalog has %d profiles, want %d: %v", len(got), len(want), got)
@@ -126,6 +126,31 @@ func TestChurnShape(t *testing.T) {
 	}
 	if cr < 0.5 {
 		t.Fatalf("churn unique ratio %.3f; want >= 0.5 (observed-once dominated)", cr)
+	}
+}
+
+// TestColdReplayShape asserts the replay pass re-observes instead of
+// growing the corpus: double the paper baseline's sightings over the
+// identical unique-address population, in a doubled window.
+func TestColdReplayShape(t *testing.T) {
+	paper, _ := Lookup("paper")
+	cold, _ := Lookup("cold-replay")
+	ps, err := paper.Stream(1, SizeSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := cold.Stream(1, SizeSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Events) != 2*len(ps.Events) {
+		t.Fatalf("cold-replay has %d events, want 2x paper's %d", len(cs.Events), len(ps.Events))
+	}
+	if got, want := uniqueRatio(cs), uniqueRatio(ps)/2; got != want {
+		t.Fatalf("cold-replay unique ratio %.4f, want exactly half of paper's (%.4f): replay minted new addresses", got, want)
+	}
+	if half := ps.End.Sub(ps.Origin); cs.End.Sub(cs.Origin) != 2*half {
+		t.Fatalf("cold-replay window %v, want 2x paper's %v", cs.End.Sub(cs.Origin), half)
 	}
 }
 

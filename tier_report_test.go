@@ -1,0 +1,97 @@
+package hitlist6
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hitlist6/internal/analysis"
+	"hitlist6/internal/pager"
+)
+
+// TestReportTierEquivalence holds the tiered corpus to the repo's
+// exactness bar at the top of the stack: a study whose collector is
+// rebuilt from the tier file — read back under a constraining RAM
+// budget, and again nearly all-cold — must render the byte-identical
+// Report(), and the figure folds must compute identically straight off
+// the pager through the analysis.AddrSource seam, without
+// materializing a collector at all.
+//
+// Fresh studies per leg because consecutive Report calls on one study
+// legitimately differ (the backscan pool's round-robin state advances);
+// the studies are seed-identical, so only the collector swap is under
+// test.
+func TestReportTierEquivalence(t *testing.T) {
+	base := runStudy(t, 1)
+	want, err := base.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum := base.Collector.Checksum()
+
+	path := filepath.Join(t.TempDir(), "corpus.tier")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := pager.WriteTier(base.Collector, bw); err == nil {
+		err = bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantFig2a := analysis.ComputeFigure2a(base.Collector)
+	legs := []struct {
+		name   string
+		budget int64 // 0 = unlimited; 1 byte = the one-chunk LRU floor
+	}{
+		{"resident", 0},
+		{"budget", fi.Size() / 2},
+		{"cold", 1},
+	}
+	for _, leg := range legs {
+		leg := leg
+		t.Run(leg.name, func(t *testing.T) {
+			tc, err := pager.Open(path, pager.Options{RAMBudget: leg.budget})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tc.Close()
+
+			// The figure fold straight off the file, paging chunks as the
+			// canonical walk reaches them.
+			if got := analysis.ComputeFigure2a(tc); !reflect.DeepEqual(got, wantFig2a) {
+				t.Fatalf("Figure 2a off the %s tier diverges: %+v vs %+v", leg.name, got, wantFig2a)
+			}
+
+			restored, err := tc.Restore()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if restored.Checksum() != wantSum {
+				t.Fatal("restored corpus checksum diverges from the study collector")
+			}
+			s := runStudy(t, 1)
+			s.Collector = restored
+			got, err := s.Report()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("Report() off the %s tier diverges from the resident study (%d vs %d bytes)",
+					leg.name, len(got), len(want))
+			}
+		})
+	}
+}
